@@ -1,0 +1,17 @@
+"""Bench A2 — evaluation-function weight sweep (alpha = beta grid)."""
+
+from repro.experiments import run_alpha_beta_ablation
+
+
+def test_ablation_alpha_beta(benchmark, config, artifact_sink):
+    rows, text = benchmark.pedantic(
+        lambda: run_alpha_beta_ablation(config), rounds=1, iterations=1
+    )
+    artifact_sink("ablation_alpha_beta", text)
+
+    # Replication never decreases as the balance weights grow.
+    reps = [r["replication"] for r in rows]
+    assert all(b >= a - 0.05 for a, b in zip(reps, reps[1:]))
+    # And the heaviest weights keep the partition essentially perfect.
+    assert rows[-1]["edge_imbalance"] < 1.1
+    assert rows[-1]["vertex_imbalance"] < 1.1

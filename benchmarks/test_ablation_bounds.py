@@ -1,0 +1,18 @@
+"""Bench A1 — Theorem 1/2 bound tightness across the alpha/beta grid."""
+
+from repro.experiments import run_bounds_ablation
+
+
+def test_ablation_bounds(benchmark, config, artifact_sink):
+    rows, text = benchmark.pedantic(
+        lambda: run_bounds_ablation(config), rounds=1, iterations=1
+    )
+    artifact_sink("ablation_bounds", text)
+
+    for r in rows:
+        assert r["edge_imbalance"] <= r["edge_bound"]
+        assert r["vertex_imbalance"] <= r["vertex_bound"]
+    # The bounds are worst-case and extremely loose in practice — the
+    # measured factors sit near 1 while bounds run into the hundreds.
+    assert max(r["edge_imbalance"] for r in rows) < 2.0
+    assert min(r["edge_bound"] for r in rows) > 2.0

@@ -1,0 +1,16 @@
+"""Bench A3 — edge-processing-order ablation (extends Section V-D)."""
+
+from repro.experiments import run_sort_order_ablation
+
+
+def test_ablation_sort_order(benchmark, config, artifact_sink):
+    results, text = benchmark.pedantic(
+        lambda: run_sort_order_ablation(config), rounds=1, iterations=1
+    )
+    artifact_sink("ablation_sort_order", text)
+
+    # Ascending (EBV-sort) produces the lowest replication factor of all
+    # four orders; descending is the adversarial worst case.
+    assert results["ascending"] == min(results.values())
+    assert results["descending"] >= results["ascending"]
+    assert results["input"] >= results["ascending"]

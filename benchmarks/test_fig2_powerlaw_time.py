@@ -1,0 +1,31 @@
+"""Bench F2 — regenerate Figure 2 (CC/PR/SSSP on power-law graphs).
+
+The full 8-system × 3-app × 3-graph sweep.  The headline claim: EBV has
+the lowest (or near-lowest) modeled execution time among the six
+partition algorithms on power-law graphs, with its margin widening on
+the heavier-tailed graphs.
+"""
+
+from repro.experiments import run_fig2
+from repro.experiments.figures23 import render_panels
+
+PARTITIONERS = ("EBV", "Ginger", "DBH", "CVC", "NE", "METIS")
+
+
+def test_fig2(benchmark, config, artifact_sink):
+    panels, text = benchmark.pedantic(
+        lambda: run_fig2(config), rounds=1, iterations=1
+    )
+    artifact_sink("fig2_powerlaw_time", text)
+
+    # Shape assertion: across all power-law panels and worker counts,
+    # EBV's average rank among the six partitioners is in the top half.
+    ranks = []
+    for (app, graph), panel in panels.items():
+        workers = config.figure_workers[graph]
+        for i in range(len(workers)):
+            times = {m: panel[m][i] for m in PARTITIONERS if m in panel}
+            ordered = sorted(times, key=times.get)
+            ranks.append(ordered.index("EBV"))
+    avg_rank = sum(ranks) / len(ranks)
+    assert avg_rank <= 2.0, f"EBV average rank {avg_rank:.2f} too low"

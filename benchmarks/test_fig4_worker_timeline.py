@@ -1,0 +1,15 @@
+"""Bench F4 — regenerate Figure 4 (per-worker Gantt of CC with 4 workers)."""
+
+from repro.experiments import run_breakdown
+
+
+def test_fig4(benchmark, config, artifact_sink):
+    rows, runs, _, timeline_text = benchmark.pedantic(
+        lambda: run_breakdown(config), rounds=1, iterations=1
+    )
+    artifact_sink("fig4_worker_timeline", timeline_text)
+
+    # Every partitioner's lane set is present with 4 worker lanes.
+    for method in ("EBV", "Ginger", "DBH", "CVC", "NE", "METIS"):
+        assert method in timeline_text
+    assert timeline_text.count("worker 0") == 6

@@ -1,0 +1,22 @@
+"""Bench F5 — regenerate Figure 5 (replication-factor growth curves)."""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5(benchmark, config, artifact_sink):
+    curves, text = benchmark.pedantic(
+        lambda: run_fig5(config), rounds=1, iterations=1
+    )
+    artifact_sink("fig5_rf_growth", text)
+
+    for graph_name, graph_curves in curves.items():
+        for p in (4, 8, 16, 32):
+            _, y_sort = graph_curves[("sort", p)]
+            _, y_unsort = graph_curves[("unsort", p)]
+            # Sorted preprocessing ends at or below unsorted.
+            assert y_sort[-1] <= y_unsort[-1] + 1e-9, (graph_name, p)
+        # The sort-vs-unsort gap grows with the number of subgraphs
+        # (compare the extremes, as in the paper's reading of Figure 5).
+        gap4 = graph_curves[("unsort", 4)][1][-1] - graph_curves[("sort", 4)][1][-1]
+        gap32 = graph_curves[("unsort", 32)][1][-1] - graph_curves[("sort", 32)][1][-1]
+        assert gap32 >= gap4 - 0.05, graph_name

@@ -1,0 +1,14 @@
+"""Bench T1 — regenerate Table I (graph statistics)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, config, artifact_sink):
+    rows, text = benchmark.pedantic(
+        lambda: run_table1(config), rounds=1, iterations=1
+    )
+    artifact_sink("table1_graph_stats", text)
+    assert len(rows) == 4
+    eta = {r.name: r.eta for r in rows}
+    # The paper's eta ordering: USARoad >> LiveJournal > Twitter.
+    assert eta["usa-road"] > eta["livejournal"] > eta["twitter"]

@@ -1,0 +1,21 @@
+"""Bench T4 — regenerate Table IV (total CC communication messages)."""
+
+POWER_LAW = ("livejournal", "friendster", "twitter")
+
+
+def test_table4(benchmark, tables345_data, artifact_sink):
+    data, _, t4, _ = benchmark.pedantic(
+        lambda: tables345_data, rounds=1, iterations=1
+    )
+    artifact_sink("table4_messages", t4)
+
+    # EBV sends fewer messages than the other self-based partitioners on
+    # every graph (paper: 23.7-35.4% fewer than Ginger).
+    for graph in POWER_LAW + ("usa-road",):
+        ebv = data.messages[(graph, "EBV")].total_messages
+        for other in ("Ginger", "DBH", "CVC"):
+            assert ebv < data.messages[(graph, other)].total_messages, (graph, other)
+    # Local-based methods lead by a large margin on the road graph.
+    road_ebv = data.messages[("usa-road", "EBV")].total_messages
+    assert data.messages[("usa-road", "METIS")].total_messages < road_ebv / 2
+    assert data.messages[("usa-road", "NE")].total_messages < road_ebv / 2

@@ -1,0 +1,41 @@
+"""repro — reproduction of "An Efficient and Balanced Graph Partition
+Algorithm for the Subgraph-Centric Programming Model on Large-scale
+Power-law Graphs" (EBV, ICDCS 2021).
+
+Public API tour
+---------------
+
+Graphs (:mod:`repro.graph`)::
+
+    from repro.graph import Graph, powerlaw_graph, road_network
+
+Partitioning (:mod:`repro.partition`) — EBV plus the five baselines::
+
+    from repro.partition import EBVPartitioner, partition_metrics
+    result = EBVPartitioner().partition(graph, num_parts=8)
+
+Execution (:mod:`repro.bsp` + :mod:`repro.apps`)::
+
+    from repro.bsp import build_distributed_graph, BSPEngine
+    from repro.apps import ConnectedComponents
+    run = BSPEngine().run(build_distributed_graph(result), ConnectedComponents())
+
+Experiments (:mod:`repro.experiments`) — every paper table and figure::
+
+    from repro.experiments import run_table1, run_fig2, run_tables345
+"""
+
+from . import analysis, apps, bsp, experiments, frameworks, graph, partition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "bsp",
+    "experiments",
+    "frameworks",
+    "graph",
+    "partition",
+    "__version__",
+]

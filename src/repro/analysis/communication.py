@@ -1,0 +1,92 @@
+"""Static communication analysis of a partition (no execution needed).
+
+Tables IV/V measure communication by *running* CC; this module derives
+the same quantities analytically from the partition structure, which is
+what a practitioner wants when choosing a partitioner before any job
+runs:
+
+* :func:`replica_sync_volume` — messages one full replica synchronization
+  costs (every mirror pushes + every master broadcasts), the per-
+  superstep communication of an all-active program like PageRank.
+* :func:`per_worker_sync_messages` — the same, split per worker, whose
+  max/mean predicts Table V.
+* :func:`quotient_graph` — the worker-level communication topology:
+  ``quotient[i, j]`` = number of vertices replicated on both workers i
+  and j (the channels a superstep exercises).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..partition.base import PartitionResult
+
+__all__ = [
+    "replica_sync_volume",
+    "per_worker_sync_messages",
+    "quotient_graph",
+]
+
+
+def _replica_lists(result: PartitionResult):
+    return result.replica_map()
+
+
+def replica_sync_volume(result: PartitionResult) -> int:
+    """Messages per full replica sync: ``2 · Σ_v (|parts(v)| − 1)``.
+
+    Every mirror pushes one message up and receives one broadcast back.
+    This equals the PageRank per-superstep message count upper bound and
+    is monotone in the replication factor — the analytic form of the
+    Table IV correlation.
+    """
+    total = 0
+    for parts in _replica_lists(result):
+        if parts.size > 1:
+            total += 2 * (parts.size - 1)
+    return total
+
+
+def per_worker_sync_messages(result: PartitionResult) -> np.ndarray:
+    """Messages each worker *sends* in one full replica sync.
+
+    Mirrors send one message each; the master sends one broadcast per
+    mirror.  Masters are placed like the runtime places them: on the
+    replica holding the most of the vertex's edges (ties to the lowest
+    worker id).
+    """
+    from ..bsp.distributed import _master_assignment
+
+    masters = _master_assignment(result)
+    sent = np.zeros(result.num_parts, dtype=np.int64)
+    for v, parts in enumerate(_replica_lists(result)):
+        if parts.size <= 1:
+            continue
+        master = masters.get(v, int(parts[0]))
+        for p in parts.tolist():
+            if p == master:
+                sent[p] += parts.size - 1  # broadcast to each mirror
+            else:
+                sent[p] += 1  # mirror push
+    return sent
+
+
+def quotient_graph(result: PartitionResult) -> np.ndarray:
+    """Worker-pair communication channels: shared replicated vertices.
+
+    Returns a symmetric ``(p, p)`` matrix whose off-diagonal entry
+    ``[i, j]`` counts vertices replicated on both workers; the diagonal
+    is zero.  Dense rows identify workers that talk to everyone — the
+    hub-concentration failure NE exhibits on power-law graphs.
+    """
+    p = result.num_parts
+    q = np.zeros((p, p), dtype=np.int64)
+    for parts in _replica_lists(result):
+        plist = parts.tolist()
+        for a in range(len(plist)):
+            for b in range(a + 1, len(plist)):
+                q[plist[a], plist[b]] += 1
+                q[plist[b], plist[a]] += 1
+    return q

@@ -1,0 +1,86 @@
+"""Terminal plotting: ASCII line charts for figure-style series.
+
+The paper's figures are log-scale line charts; in a terminal-first
+reproduction we render them as ASCII.  Used by the examples and
+available to users inspecting their own sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_curve", "ascii_multi_curve"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_curve(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 10,
+) -> str:
+    """Render one (x, y) series as an ASCII line chart."""
+    return ascii_multi_curve({"": (x, y)}, width=width, height=height)
+
+
+def ascii_multi_curve(
+    series: Dict[str, Sequence],
+    width: int = 64,
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """Render several named (x, y) series in one chart with a legend.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label → ``(x, y)`` arrays.  All series share axes.
+    logy:
+        Plot ``log10(y)`` (the paper's figures use log-scale time axes).
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    xs = {k: np.asarray(v[0], dtype=np.float64) for k, v in series.items()}
+    ys = {k: np.asarray(v[1], dtype=np.float64) for k, v in series.items()}
+    for k in ys:
+        if xs[k].shape != ys[k].shape or xs[k].size == 0:
+            raise ValueError(f"series {k!r} must be equal-length, non-empty")
+        if logy:
+            ys[k] = np.log10(np.maximum(ys[k], 1e-300))
+    x_lo = min(float(v.min()) for v in xs.values())
+    x_hi = max(float(v.max()) for v in xs.values())
+    y_lo = min(float(v.min()) for v in ys.values())
+    y_hi = max(float(v.max()) for v in ys.values())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, xv) in enumerate(xs.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        yv = ys[label]
+        order = np.argsort(xv)
+        xv, yv = xv[order], yv[order]
+        for col in range(width):
+            xq = x_lo + (x_hi - x_lo) * col / max(width - 1, 1)
+            yq = float(np.interp(xq, xv, yv))
+            row = height - 1 - int(
+                round((height - 1) * (yq - y_lo) / (y_hi - y_lo))
+            )
+            grid[row][col] = glyph
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    axis = "log10(y)" if logy else "y"
+    lines.append(f"x: {x_lo:g} .. {x_hi:g}   {axis}: {y_lo:.3g} .. {y_hi:.3g}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={label}"
+        for i, label in enumerate(series)
+        if label
+    )
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Connected Components in the subgraph-centric model.
+
+Each worker runs min-label propagation over its whole subgraph to *local
+convergence* within a single superstep — the "think like a graph"
+advantage: labels cross the entire subgraph in one superstep instead of
+one hop per superstep, so the number of supersteps is governed by the
+quotient graph over subgraphs, not the graph diameter.  Edges are
+treated as undirected (weak connectivity), matching the paper's CC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bsp.distributed import LocalSubgraph
+from ..bsp.program import MINIMIZE, ComputeResult, SubgraphProgram
+
+__all__ = ["ConnectedComponents"]
+
+
+class ConnectedComponents(SubgraphProgram):
+    """Min-label connected components (weakly connected for digraphs).
+
+    Parameters
+    ----------
+    local_convergence:
+        ``True`` (default) is the subgraph-centric behaviour: propagate
+        to local fixpoint every superstep.  ``False`` performs a single
+        propagation sweep per superstep — the vertex-centric ("think like
+        a vertex") semantics used by the Galois/Pregel comparator.
+    """
+
+    mode = MINIMIZE
+    dtype = np.int64
+    name = "CC"
+
+    def __init__(self, local_convergence: bool = True):
+        self.local_convergence = bool(local_convergence)
+        self.reactivate_changed = not self.local_convergence
+        self._built = set()  # workers whose union-find pass has been charged
+
+    def initial_values(self, local: LocalSubgraph) -> np.ndarray:
+        """Every vertex starts with its own global id as its label."""
+        return local.global_ids.astype(np.int64).copy()
+
+    def compute(
+        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray
+    ) -> ComputeResult:
+        """Run the local sequential CC for one superstep.
+
+        Subgraph-centric mode runs union-find over the local edges — one
+        pass regardless of subgraph diameter, so the computation work is
+        proportional to the local edge count (matching a real sequential
+        CC implementation).  Vertex-centric mode does a single min-label
+        sweep instead.
+        """
+        before = values.copy()
+        src, dst = local.src, local.dst
+        if src.size == 0:
+            return ComputeResult(
+                changed=np.zeros(local.num_vertices, dtype=bool), work_units=0.0
+            )
+        if not self.local_convergence:
+            np.minimum.at(values, dst, values[src])
+            np.minimum.at(values, src, values[dst])
+            return ComputeResult(
+                changed=values < before, work_units=2.0 * src.size
+            )
+        roots = local.cc_roots()
+        # Charge the full union-find pass once; later supersteps only
+        # merge incoming label changes into the (static) components.
+        key = (id(local), local.worker_id)
+        if key not in self._built:
+            self._built.add(key)
+            work = float(src.size + local.num_vertices)
+        else:
+            work = float(active.sum() + np.unique(roots).size)
+        # Each local component adopts the minimum label of its members.
+        group_min = values.copy()
+        np.minimum.at(group_min, roots, values)
+        values[:] = group_min[roots]
+        return ComputeResult(changed=values < before, work_units=work)

@@ -1,0 +1,103 @@
+"""k-core decomposition membership — an extension app beyond the paper.
+
+A vertex is in the k-core iff it survives repeatedly deleting all
+vertices of (undirected) degree < k.  In the subgraph-centric model
+"alive" flags shrink monotonically, which fits the minimize machinery:
+alive is encoded as 0 (dead) / 1 (alive) and min-combined across
+replicas (dead anywhere = dead everywhere); each superstep peels the
+local subgraph to a fixpoint given the latest remote deaths.
+
+The catch relative to CC/SSSP: a vertex's *degree* spans several
+subgraphs under a vertex-cut, so local peeling must be conservative —
+only the vertex's **global** degree can kill it.  The program therefore
+tracks each vertex's remaining global degree: when a vertex dies, every
+incident edge notifies the other endpoint through the replica sync of a
+per-vertex "removed neighbor" count... which a scalar min-sync cannot
+carry.  Instead we run the standard distributed algorithm: supersteps
+alternate (a) recompute each vertex's alive-degree from local edges and
+replica-synced alive flags, (b) kill vertices whose *global* alive
+degree < k.  The global alive degree is the sum of local alive degrees
+of all replicas, which the ACCUMULATE path provides.  Termination: no
+deaths anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bsp.distributed import LocalSubgraph
+from ..bsp.program import ACCUMULATE, ComputeResult, SubgraphProgram
+
+__all__ = ["KCore", "kcore_reference"]
+
+
+class KCore(SubgraphProgram):
+    """Iterative k-core peeling over the accumulate sync path.
+
+    Values are alive flags in {0.0, 1.0}.  Each superstep, workers
+    report each local vertex's *local alive degree* (count of incident
+    edges whose other endpoint is alive) as the partial; masters sum the
+    partials into the global alive degree and kill vertices below ``k``.
+
+    Parameters
+    ----------
+    k:
+        Core order (>= 1).
+    """
+
+    mode = ACCUMULATE
+    dtype = np.float64
+    name = "KCore"
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = int(k)
+        self._alive = {}
+
+    def initial_values(self, local: LocalSubgraph) -> np.ndarray:
+        """Everyone starts alive."""
+        return np.ones(local.num_vertices)
+
+    def compute(self, local: LocalSubgraph, values: np.ndarray, active) -> ComputeResult:
+        """Partial = local alive-degree of each vertex."""
+        partials = np.zeros(local.num_vertices)
+        src, dst = local.src, local.dst
+        if src.size:
+            both_alive = (values[src] > 0.5) & (values[dst] > 0.5)
+            live_src = src[both_alive]
+            live_dst = dst[both_alive]
+            np.add.at(partials, live_src, 1.0)
+            loops = live_src != live_dst
+            np.add.at(partials, live_dst[loops], 1.0)
+        work = float(src.size + local.num_vertices)
+        send = (partials > 0.0) & (values > 0.5)
+        return ComputeResult(changed=send, work_units=work, partials=partials)
+
+    def apply(self, local: LocalSubgraph, values: np.ndarray, sums: np.ndarray) -> np.ndarray:
+        """Kill masters whose global alive degree dropped below k."""
+        alive = values > 0.5
+        survives = alive & (sums >= self.k)
+        return survives.astype(np.float64)
+
+    def has_converged(self, superstep: int, global_delta: float) -> bool:
+        """Stop when no vertex died this superstep."""
+        return global_delta == 0.0
+
+
+def kcore_reference(graph, k: int) -> np.ndarray:
+    """Sequential peeling: returns alive flags (1.0 in the k-core)."""
+    n = graph.num_vertices
+    alive = np.ones(n, dtype=bool)
+    while True:
+        deg = np.zeros(n, dtype=np.int64)
+        both = alive[graph.src] & alive[graph.dst]
+        src = graph.src[both]
+        dst = graph.dst[both]
+        np.add.at(deg, src, 1)
+        loops = src != dst
+        np.add.at(deg, dst[loops], 1)
+        kill = alive & (deg < k)
+        if not kill.any():
+            return alive.astype(np.float64)
+        alive[kill] = False

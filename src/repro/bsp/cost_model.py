@@ -1,0 +1,51 @@
+"""Deterministic cost model for the simulated BSP cluster.
+
+The paper runs on a real 4-node cluster; we replace wall-clock time with
+a deterministic model so results are exactly reproducible (DESIGN.md §3).
+Per superstep ``k`` and worker ``i``:
+
+* ``comp_i^k = seconds_per_work_unit × work_i^k`` where work units are
+  the edge operations the local sequential algorithm performed;
+* ``comm_i^k = seconds_per_message × (sent_i^k + received_i^k)``;
+* the superstep barrier makes wall time ``max_i(comp_i^k + comm_i^k)``
+  and the synchronization (waiting) spread
+  ``ΔC_k = max_i(comp_i^k + comm_i^k) − min_i(comp_i^k + comm_i^k)``
+  exactly as defined in Section V-B.
+
+Default constants are calibrated so the LiveJournal-scale CC breakdown
+reproduces Table II's comp:comm:ΔC proportions; all comparisons in the
+paper are ratios, so the absolute scale is immaterial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated per-operation costs, in seconds.
+
+    Attributes
+    ----------
+    seconds_per_work_unit:
+        Cost of one local edge operation (scan/relax/accumulate).
+    seconds_per_message:
+        Cost of sending *or* receiving one vertex-value message.
+    superstep_overhead:
+        Fixed barrier overhead charged once per superstep per worker.
+    """
+
+    seconds_per_work_unit: float = 1.0e-6
+    seconds_per_message: float = 1.5e-7
+    superstep_overhead: float = 1.0e-4
+
+    def comp_seconds(self, work_units: float) -> float:
+        """Computation-stage time for ``work_units`` edge operations."""
+        return self.seconds_per_work_unit * work_units
+
+    def comm_seconds(self, sent: float, received: float) -> float:
+        """Communication-stage time for the given message counts."""
+        return self.seconds_per_message * (sent + received)

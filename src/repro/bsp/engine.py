@@ -1,0 +1,305 @@
+"""The subgraph-centric bulk synchronous parallel engine.
+
+This is the simulated stand-in for DRONE (Section IV-B): the graph is
+divided into subgraphs, each bound to one worker, and processing is
+iterative in supersteps of three stages — computation (each worker runs
+its sequential algorithm over its subgraph), communication (messages
+flow only between replicas of the same vertex: mirrors push to masters,
+masters broadcast combined values back), and synchronization (the
+barrier; the slowest worker determines superstep wall time).
+
+Message counts are exact — every replica value transfer is tallied on
+the sending and receiving worker — while time is produced by the
+deterministic :class:`~repro.bsp.cost_model.CostModel` (see DESIGN.md §3
+for why this preserves the paper's comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .cost_model import CostModel
+from .distributed import DistributedGraph
+from .program import ACCUMULATE, MINIMIZE, ComputeResult, SubgraphProgram
+
+__all__ = ["SuperstepStats", "BSPRun", "BSPEngine"]
+
+
+@dataclass
+class SuperstepStats:
+    """Per-worker accounting for one superstep (arrays of length p)."""
+
+    work: np.ndarray
+    sent: np.ndarray
+    received: np.ndarray
+    comp_seconds: np.ndarray
+    comm_seconds: np.ndarray
+
+    @property
+    def wall_seconds(self) -> float:
+        """Barrier semantics: the slowest worker sets the pace."""
+        return float((self.comp_seconds + self.comm_seconds).max())
+
+    @property
+    def delta_c(self) -> float:
+        """ΔC_k = max_i(comp+comm) − min_i(comp+comm) (Section V-B)."""
+        busy = self.comp_seconds + self.comm_seconds
+        return float(busy.max() - busy.min())
+
+
+@dataclass
+class BSPRun:
+    """A finished BSP execution with the full per-superstep record."""
+
+    program: str
+    partition_method: str
+    graph_name: str
+    num_workers: int
+    supersteps: List[SuperstepStats] = field(default_factory=list)
+    values: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the paper's tables
+    # ------------------------------------------------------------------
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        """Table IV: total messages exchanged during the computation."""
+        return int(sum(s.sent.sum() for s in self.supersteps))
+
+    def messages_per_worker(self) -> np.ndarray:
+        """Total messages *sent* by each worker across all supersteps."""
+        out = np.zeros(self.num_workers, dtype=np.int64)
+        for s in self.supersteps:
+            out += s.sent
+        return out
+
+    @property
+    def message_max_mean_ratio(self) -> float:
+        """Table V: max/mean of per-worker sent messages."""
+        per_worker = self.messages_per_worker().astype(np.float64)
+        mean = per_worker.mean()
+        if mean == 0:
+            return 1.0
+        return float(per_worker.max() / mean)
+
+    @property
+    def comp(self) -> float:
+        """Average per-worker computation seconds, Σ_k Σ_i comp_i^k / p."""
+        return float(sum(s.comp_seconds.sum() for s in self.supersteps) / self.num_workers)
+
+    @property
+    def comm(self) -> float:
+        """Average per-worker communication seconds."""
+        return float(sum(s.comm_seconds.sum() for s in self.supersteps) / self.num_workers)
+
+    @property
+    def delta_c(self) -> float:
+        """ΔC = Σ_k ΔC_k — accumulated synchronization (waiting) time."""
+        return float(sum(s.delta_c for s in self.supersteps))
+
+    @property
+    def execution_time(self) -> float:
+        """Modeled wall time: Σ_k max_i(comp_i^k + comm_i^k)."""
+        return float(sum(s.wall_seconds for s in self.supersteps))
+
+    def worker_timeline(self) -> List[List[Tuple[float, float, float]]]:
+        """Per worker, per superstep ``(comp, comm, sync)`` second triples.
+
+        Sync is the time the worker waits at the barrier — the Figure 4
+        Gantt segments.
+        """
+        timelines: List[List[Tuple[float, float, float]]] = [
+            [] for _ in range(self.num_workers)
+        ]
+        for s in self.supersteps:
+            wall = s.wall_seconds
+            for i in range(self.num_workers):
+                busy = float(s.comp_seconds[i] + s.comm_seconds[i])
+                timelines[i].append(
+                    (float(s.comp_seconds[i]), float(s.comm_seconds[i]), wall - busy)
+                )
+        return timelines
+
+
+class BSPEngine:
+    """Run :class:`SubgraphProgram` instances over a distributed graph.
+
+    Parameters
+    ----------
+    cost_model:
+        Simulated per-operation costs (defaults are calibrated against
+        Table II; see :mod:`repro.bsp.cost_model`).
+    max_supersteps:
+        Safety cap; minimize-mode programs normally terminate on
+        quiescence well before this.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None, max_supersteps: int = 500):
+        self.cost_model = cost_model or CostModel()
+        self.max_supersteps = max_supersteps
+
+    def run(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
+        """Execute ``program`` to completion and return the full record."""
+        if program.mode == MINIMIZE:
+            return self._run_minimize(dgraph, program)
+        if program.mode == ACCUMULATE:
+            return self._run_accumulate(dgraph, program)
+        raise ValueError(f"unknown program mode {program.mode!r}")
+
+    # ------------------------------------------------------------------
+    # Minimize mode (CC, SSSP, BFS)
+    # ------------------------------------------------------------------
+
+    def _run_minimize(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
+        p = dgraph.num_workers
+        values = [program.initial_values(l) for l in dgraph.locals]
+        active = [program.initial_active(l) for l in dgraph.locals]
+        run = BSPRun(
+            program=program.name,
+            partition_method="?",
+            graph_name=dgraph.graph.name,
+            num_workers=p,
+        )
+        for _ in range(self.max_supersteps):
+            work = np.zeros(p)
+            sent = np.zeros(p, dtype=np.int64)
+            received = np.zeros(p, dtype=np.int64)
+            changed: List[np.ndarray] = []
+            any_active = any(bool(a.any()) for a in active)
+            if not any_active:
+                break
+            for w, local in enumerate(dgraph.locals):
+                if active[w].any():
+                    res = program.compute(local, values[w], active[w])
+                    work[w] = res.work_units
+                    changed.append(res.changed)
+                else:
+                    changed.append(np.zeros(local.num_vertices, dtype=bool))
+                if program.reactivate_changed:
+                    active[w] = changed[w].copy()
+                else:
+                    active[w] = np.zeros(local.num_vertices, dtype=bool)
+
+            # Communication stage 1: changed mirrors push to masters.
+            master_dirty = [c & l.is_master for c, l in zip(changed, dgraph.locals)]
+            for (w, mw), route in dgraph.up_routes.items():
+                sel = changed[w][route.src_index]
+                if not sel.any():
+                    continue
+                src_idx = route.src_index[sel]
+                dst_idx = route.dst_index[sel]
+                vals = values[w][src_idx]
+                n_msgs = int(sel.sum())
+                sent[w] += n_msgs
+                received[mw] += n_msgs
+                better = vals < values[mw][dst_idx]
+                if better.any():
+                    np.minimum.at(values[mw], dst_idx[better], vals[better])
+                    master_dirty[mw][dst_idx[better]] = True
+                    active[mw][dst_idx[better]] = True
+
+            # Communication stage 2: dirty masters broadcast to mirrors.
+            for (mw, w), route in dgraph.down_routes.items():
+                sel = master_dirty[mw][route.src_index]
+                if not sel.any():
+                    continue
+                src_idx = route.src_index[sel]
+                dst_idx = route.dst_index[sel]
+                vals = values[mw][src_idx]
+                n_msgs = int(sel.sum())
+                sent[mw] += n_msgs
+                received[w] += n_msgs
+                better = vals < values[w][dst_idx]
+                if better.any():
+                    values[w][dst_idx[better]] = vals[better]
+                    active[w][dst_idx[better]] = True
+
+            run.supersteps.append(self._stats(work, sent, received))
+            if not any(bool(a.any()) for a in active):
+                break
+        run.values = dgraph.gather_master_values(values, default=0)
+        return run
+
+    # ------------------------------------------------------------------
+    # Accumulate mode (PageRank)
+    # ------------------------------------------------------------------
+
+    def _run_accumulate(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
+        p = dgraph.num_workers
+        values = [program.initial_values(l) for l in dgraph.locals]
+        run = BSPRun(
+            program=program.name,
+            partition_method="?",
+            graph_name=dgraph.graph.name,
+            num_workers=p,
+        )
+        for step in range(self.max_supersteps):
+            work = np.zeros(p)
+            sent = np.zeros(p, dtype=np.int64)
+            received = np.zeros(p, dtype=np.int64)
+            partials: List[np.ndarray] = []
+            send_mask: List[np.ndarray] = []
+            for w, local in enumerate(dgraph.locals):
+                res = program.compute(local, values[w], None)
+                work[w] = res.work_units
+                partials.append(res.partials)
+                send_mask.append(res.changed)
+
+            # Stage 1: mirrors push partial sums to masters.
+            sums = [part.copy() for part in partials]
+            for (w, mw), route in dgraph.up_routes.items():
+                sel = send_mask[w][route.src_index]
+                if not sel.any():
+                    continue
+                src_idx = route.src_index[sel]
+                dst_idx = route.dst_index[sel]
+                n_msgs = int(sel.sum())
+                sent[w] += n_msgs
+                received[mw] += n_msgs
+                np.add.at(sums[mw], dst_idx, partials[w][src_idx])
+
+            # Apply at masters, track the global change for convergence.
+            global_delta = 0.0
+            new_master: List[np.ndarray] = []
+            for w, local in enumerate(dgraph.locals):
+                new_vals = program.apply(local, values[w], sums[w])
+                mask = local.is_master
+                global_delta += float(np.abs(new_vals[mask] - values[w][mask]).sum())
+                new_master.append(new_vals)
+                values[w][mask] = new_vals[mask]
+
+            # Stage 2: masters broadcast the new values to all mirrors.
+            for (mw, w), route in dgraph.down_routes.items():
+                n_msgs = int(route.src_index.shape[0])
+                sent[mw] += n_msgs
+                received[w] += n_msgs
+                values[w][route.dst_index] = values[mw][route.src_index]
+
+            run.supersteps.append(self._stats(work, sent, received))
+            if program.has_converged(step, global_delta):
+                break
+        run.values = dgraph.gather_master_values(values, default=0.0)
+        return run
+
+    # ------------------------------------------------------------------
+
+    def _stats(
+        self, work: np.ndarray, sent: np.ndarray, received: np.ndarray
+    ) -> SuperstepStats:
+        comp = self.cost_model.seconds_per_work_unit * work + self.cost_model.superstep_overhead
+        comm = self.cost_model.seconds_per_message * (sent + received).astype(np.float64)
+        return SuperstepStats(
+            work=work,
+            sent=sent,
+            received=received,
+            comp_seconds=comp,
+            comm_seconds=comm,
+        )

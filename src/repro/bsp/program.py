@@ -1,0 +1,101 @@
+"""The subgraph-centric programming interface ("think like a graph").
+
+A :class:`SubgraphProgram` expresses a graph algorithm the way the
+subgraph-centric BSP model expects (Section IV-B): during the
+computation stage each worker runs a *sequential* algorithm over its
+whole local subgraph (typically to local convergence), and during the
+communication stage only replicated vertices exchange values.
+
+Two synchronization modes cover the paper's three applications:
+
+* ``minimize`` — values are merged across replicas with ``min`` (CC,
+  SSSP, BFS).  ``compute`` improves local values in place and reports
+  which vertices changed; the engine pushes changed mirror values to
+  masters, combines, and broadcasts winners back.
+* ``accumulate`` — per-superstep partial values are *summed* across
+  replicas at the master, which then applies a rescaling rule
+  (PageRank).  ``compute`` returns the partials, ``apply`` turns the
+  combined sums into new vertex values.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .distributed import LocalSubgraph
+
+__all__ = ["ComputeResult", "SubgraphProgram", "MINIMIZE", "ACCUMULATE"]
+
+MINIMIZE = "minimize"
+ACCUMULATE = "accumulate"
+
+
+@dataclass
+class ComputeResult:
+    """Outcome of one worker's computation stage.
+
+    Attributes
+    ----------
+    changed:
+        Boolean mask over local vertices whose value changed (minimize
+        mode) or whose partial is worth sending (accumulate mode).
+    work_units:
+        Edge operations performed, consumed by the cost model.
+    partials:
+        Accumulate mode only: per-local-vertex partial values.
+    """
+
+    changed: np.ndarray
+    work_units: float
+    partials: Optional[np.ndarray] = None
+
+
+class SubgraphProgram(abc.ABC):
+    """Base class for subgraph-centric applications."""
+
+    #: ``MINIMIZE`` or ``ACCUMULATE``.
+    mode: str = MINIMIZE
+    #: dtype of the per-vertex value array.
+    dtype = np.float64
+    #: human-readable name used in reports.
+    name: str = "app"
+    #: When ``True`` the engine re-activates vertices the *local* compute
+    #: changed (needed by vertex-centric single-sweep programs, which do
+    #: not reach a local fixpoint within one superstep).
+    reactivate_changed: bool = False
+
+    @abc.abstractmethod
+    def initial_values(self, local: LocalSubgraph) -> np.ndarray:
+        """Per-local-vertex initial values for worker ``local``."""
+
+    def initial_active(self, local: LocalSubgraph) -> np.ndarray:
+        """Initially active local vertices (default: all)."""
+        return np.ones(local.num_vertices, dtype=bool)
+
+    @abc.abstractmethod
+    def compute(
+        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray
+    ) -> ComputeResult:
+        """Run the sequential per-subgraph algorithm for one superstep.
+
+        Minimize mode must mutate ``values`` in place; accumulate mode
+        must leave ``values`` untouched and return partials.
+        """
+
+    # ------------------------------------------------------------------
+    # Accumulate-mode hooks (PageRank-style programs override these)
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, local: LocalSubgraph, values: np.ndarray, sums: np.ndarray
+    ) -> np.ndarray:
+        """Turn combined replica sums into new master values."""
+        raise NotImplementedError
+
+    def has_converged(self, superstep: int, global_delta: float) -> bool:
+        """Accumulate mode: decide whether to stop after this superstep."""
+        raise NotImplementedError

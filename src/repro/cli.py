@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   write a synthetic graph to an edge-list file
+``stats``      print the Table I statistics row for an edge list
+``partition``  partition an edge list and print Section III-C metrics
+``run``        execute CC/PR/SSSP/BFS on a partitioned graph
+``experiment`` regenerate one of the paper's tables/figures
+
+Every command prints human-readable text to stdout; ``partition`` can
+additionally persist the per-edge assignment for external tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import breakdown_row, render_table
+from .apps import default_source
+from .bsp import BSPEngine, build_distributed_graph
+from .experiments import (
+    default_config,
+    generate_report,
+    run_breakdown,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_table1,
+    run_tables345,
+)
+from .frameworks import make_program
+from .graph import (
+    erdos_renyi,
+    graph_stats,
+    powerlaw_graph,
+    read_edge_list,
+    rmat,
+    road_network,
+    write_edge_list,
+)
+from .partition import (
+    CVCPartitioner,
+    DBHPartitioner,
+    EBVPartitioner,
+    FennelPartitioner,
+    GingerPartitioner,
+    HDRFPartitioner,
+    MetisLikePartitioner,
+    NEPartitioner,
+    ShardedEBVPartitioner,
+    StreamingEBVPartitioner,
+    partition_metrics,
+    refine_vertex_cut,
+    save_partition,
+)
+
+__all__ = ["main", "build_parser"]
+
+PARTITIONERS = {
+    "ebv": EBVPartitioner,
+    "ebv-unsort": lambda: EBVPartitioner(sort_order="input"),
+    "ebv-stream": StreamingEBVPartitioner,
+    "ebv-sharded": ShardedEBVPartitioner,
+    "ginger": GingerPartitioner,
+    "dbh": DBHPartitioner,
+    "cvc": CVCPartitioner,
+    "ne": NEPartitioner,
+    "metis": MetisLikePartitioner,
+    "hdrf": HDRFPartitioner,
+    "fennel": FennelPartitioner,
+}
+
+EXPERIMENTS = {
+    "table1": lambda cfg: run_table1(cfg)[1],
+    "table2": lambda cfg: run_breakdown(cfg)[2],
+    "fig4": lambda cfg: run_breakdown(cfg)[3],
+    "table3": lambda cfg: run_tables345(cfg)[1],
+    "table4": lambda cfg: run_tables345(cfg)[2],
+    "table5": lambda cfg: run_tables345(cfg)[3],
+    "fig2": lambda cfg: run_fig2(cfg)[1],
+    "fig3": lambda cfg: run_fig3(cfg)[1],
+    "fig5": lambda cfg: run_fig5(cfg)[1],
+    "all": lambda cfg: generate_report(cfg, include_figures=False),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EBV graph partitioning reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("output", help="edge-list file to write")
+    gen.add_argument(
+        "--kind", choices=("powerlaw", "road", "rmat", "er"), default="powerlaw"
+    )
+    gen.add_argument("--vertices", type=int, default=10_000)
+    gen.add_argument("--eta", type=float, default=2.2)
+    gen.add_argument("--min-degree", type=int, default=3)
+    gen.add_argument("--directed", action="store_true")
+    gen.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="print Table I statistics")
+    stats.add_argument("input", help="edge-list file")
+
+    part = sub.add_parser("partition", help="partition a graph")
+    part.add_argument("input", help="edge-list file")
+    part.add_argument("--method", choices=sorted(PARTITIONERS), default="ebv")
+    part.add_argument("--parts", type=int, default=8)
+    part.add_argument("--refine", action="store_true", help="apply the post-pass")
+    part.add_argument("--output", help="write per-edge part ids here")
+
+    run = sub.add_parser("run", help="run an application on a partitioned graph")
+    run.add_argument("input", help="edge-list file")
+    run.add_argument("--app", choices=("CC", "PR", "SSSP"), default="CC")
+    run.add_argument("--method", choices=sorted(PARTITIONERS), default="ebv")
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument("--source", type=int, default=None, help="SSSP source")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=None)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "powerlaw":
+        g = powerlaw_graph(
+            args.vertices,
+            eta=args.eta,
+            min_degree=args.min_degree,
+            directed=args.directed,
+            seed=args.seed,
+        )
+    elif args.kind == "road":
+        side = max(2, int(np.sqrt(args.vertices)))
+        g = road_network(side, side, seed=args.seed)
+    elif args.kind == "rmat":
+        scale = max(2, int(np.log2(max(args.vertices, 4))))
+        g = rmat(scale, seed=args.seed, directed=args.directed)
+    else:
+        g = erdos_renyi(
+            args.vertices, args.vertices * 8, directed=args.directed, seed=args.seed
+        )
+    write_edge_list(g, args.output)
+    print(f"wrote {g.num_edges} edges over {g.num_vertices} vertices to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    g = read_edge_list(args.input)
+    s = graph_stats(g)
+    print(
+        render_table(
+            ["Graph", "Type", "V", "E", "AvgDeg", "eta"],
+            [(s.name, s.kind, s.num_vertices, s.num_edges,
+              f"{s.average_degree:.2f}", f"{s.eta:.2f}")],
+        )
+    )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    g = read_edge_list(args.input)
+    result = PARTITIONERS[args.method]().partition(g, args.parts)
+    if args.refine:
+        result = refine_vertex_cut(result)
+    m = partition_metrics(result)
+    print(
+        render_table(
+            ["Method", "Parts", "EdgeImb", "VertImb", "RF"],
+            [(m.method, args.parts, f"{m.edge_imbalance:.3f}",
+              f"{m.vertex_imbalance:.3f}", f"{m.replication:.3f}")],
+        )
+    )
+    if args.output:
+        save_partition(result, args.output)
+        print(f"partition written to {args.output}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    g = read_edge_list(args.input)
+    result = PARTITIONERS[args.method]().partition(g, args.workers)
+    dgraph = build_distributed_graph(result)
+    program = make_program(args.app, g, source=args.source)
+    run = BSPEngine().run(dgraph, program)
+    run.partition_method = result.method
+    row = breakdown_row(run)
+    print(
+        render_table(
+            ["App", "Method", "Workers", "Supersteps", "Messages",
+             "comp", "comm", "dC", "time"],
+            [(args.app, row.method, args.workers, run.num_supersteps,
+              run.total_messages, f"{row.comp:.4f}", f"{row.comm:.4f}",
+              f"{row.delta_c:.4f}", f"{row.execution_time:.4f}")],
+        )
+    )
+    if args.app == "SSSP":
+        reached = int(np.isfinite(run.values).sum())
+        print(f"reached {reached}/{g.num_vertices} vertices from source "
+              f"{args.source if args.source is not None else default_source(g)}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    config = default_config()
+    if args.scale is not None:
+        config.scale = args.scale
+    print(EXPERIMENTS[args.name](config))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "partition": _cmd_partition,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Experiment drivers: one per paper table/figure plus the ablations."""
+
+from .ablations import (
+    run_alpha_beta_ablation,
+    run_bounds_ablation,
+    run_sort_order_ablation,
+)
+from .breakdown2_4 import run_breakdown
+from .config import ExperimentConfig, POWER_LAW_GRAPHS, ROAD_GRAPH, default_config
+from .fig5 import run_fig5
+from .report import generate_report
+from .figures23 import run_fig2, run_fig3, sweep_panel
+from .table1 import run_table1
+from .tables345 import run_tables345
+
+__all__ = [
+    "ExperimentConfig",
+    "POWER_LAW_GRAPHS",
+    "ROAD_GRAPH",
+    "default_config",
+    "run_alpha_beta_ablation",
+    "run_bounds_ablation",
+    "run_sort_order_ablation",
+    "run_breakdown",
+    "run_fig5",
+    "generate_report",
+    "run_fig2",
+    "run_fig3",
+    "sweep_panel",
+    "run_table1",
+    "run_tables345",
+]

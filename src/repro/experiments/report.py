@@ -1,0 +1,71 @@
+"""One-shot reproduction report: every artifact in a single document.
+
+``generate_report`` runs all table/figure drivers plus the ablations and
+returns one markdown-ish text document; the CLI exposes it as
+``python -m repro experiment all``.  This is the "give me everything"
+entry point for someone auditing the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ablations import (
+    run_alpha_beta_ablation,
+    run_bounds_ablation,
+    run_sort_order_ablation,
+)
+from .breakdown2_4 import run_breakdown
+from .config import ExperimentConfig, default_config
+from .fig5 import run_fig5
+from .figures23 import run_fig2, run_fig3
+from .table1 import run_table1
+from .tables345 import run_tables345
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    config: Optional[ExperimentConfig] = None,
+    include_figures: bool = True,
+) -> str:
+    """Run every experiment and return the combined report text.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration; defaults to :func:`default_config`.
+    include_figures:
+        Figures 2-3 sweep every framework over every worker count and
+        dominate the runtime; pass ``False`` for a tables-only report.
+    """
+    config = config or default_config()
+    sections: List[str] = [
+        "# EBV reproduction report",
+        f"(scale={config.scale}, pagerank_iters={config.pagerank_iters})",
+    ]
+
+    _, table1 = run_table1(config)
+    sections.append(table1)
+
+    _, table3, table4, table5 = run_tables345(config)
+    sections.extend([table3, table4, table5])
+
+    _, _, table2, fig4 = run_breakdown(config)
+    sections.extend([table2, fig4])
+
+    _, fig5 = run_fig5(config)
+    sections.append(fig5)
+
+    if include_figures:
+        _, fig2 = run_fig2(config)
+        sections.append(fig2)
+        _, fig3 = run_fig3(config)
+        sections.append(fig3)
+
+    for runner in (run_bounds_ablation, run_alpha_beta_ablation,
+                   run_sort_order_ablation):
+        _, text = runner(config)
+        sections.append(text)
+
+    return "\n\n".join(sections)

@@ -1,0 +1,64 @@
+"""Framework abstraction for the cross-system comparison (Figures 2–3).
+
+The paper compares the six partition algorithms *inside* the
+subgraph-centric framework (DRONE) against two external systems: Galois
+(vertex-centric, shared memory) and Blogel (block-centric).  A
+:class:`Framework` bundles a partitioning policy with execution
+semantics and a cost profile, so the experiment drivers can sweep
+``framework × app × graph × workers`` uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..apps import ConnectedComponents, PageRank, SSSP, default_source
+from ..bsp import BSPRun, SubgraphProgram
+from ..graph import Graph
+
+__all__ = ["APP_NAMES", "make_program", "Framework"]
+
+APP_NAMES = ("CC", "PR", "SSSP")
+
+
+def make_program(
+    app: str,
+    graph: Graph,
+    local_convergence: bool = True,
+    pagerank_iters: int = 20,
+    source: Optional[int] = None,
+) -> SubgraphProgram:
+    """Instantiate one of the paper's three applications by name.
+
+    ``local_convergence`` selects subgraph-centric (``True``) versus
+    vertex-centric (``False``) computation-stage semantics; PageRank is
+    inherently one-iteration-per-superstep so the flag does not apply.
+    """
+    if app == "CC":
+        return ConnectedComponents(local_convergence=local_convergence)
+    if app == "SSSP":
+        src = default_source(graph) if source is None else source
+        return SSSP(src, local_convergence=local_convergence)
+    if app == "PR":
+        return PageRank(graph.num_vertices, max_iters=pagerank_iters)
+    raise ValueError(f"unknown app {app!r}; expected one of {APP_NAMES}")
+
+
+class Framework(abc.ABC):
+    """A complete system under test: partitioning + execution semantics."""
+
+    #: display name used in figures/tables.
+    name: str = "framework"
+
+    @abc.abstractmethod
+    def run(self, graph: Graph, app: str, num_workers: int) -> BSPRun:
+        """Execute ``app`` on ``graph`` with ``num_workers`` workers."""
+
+    def supports(self, app: str) -> bool:
+        """Whether this framework participates in an app's comparison.
+
+        Mirrors the paper's exclusions (e.g. Blogel is excluded from the
+        PageRank comparison because its PR is not standard).
+        """
+        return app in APP_NAMES

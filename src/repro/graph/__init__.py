@@ -1,0 +1,41 @@
+"""Graph substrate: data structure, generators, IO and statistics."""
+
+from .graph import CSRIndex, Graph
+from .generators import (
+    barabasi_albert,
+    erdos_renyi,
+    paper_graph_suite,
+    powerlaw_graph,
+    rmat,
+    road_network,
+)
+from .io import read_edge_list, read_metis, write_edge_list, write_metis
+from .stats import (
+    GraphStats,
+    degree_histogram,
+    estimate_eta_fit,
+    estimate_eta_mle,
+    graph_stats,
+    stats_table,
+)
+
+__all__ = [
+    "CSRIndex",
+    "Graph",
+    "barabasi_albert",
+    "erdos_renyi",
+    "paper_graph_suite",
+    "powerlaw_graph",
+    "rmat",
+    "road_network",
+    "read_edge_list",
+    "read_metis",
+    "write_edge_list",
+    "write_metis",
+    "GraphStats",
+    "degree_histogram",
+    "estimate_eta_fit",
+    "estimate_eta_mle",
+    "graph_stats",
+    "stats_table",
+]

@@ -1,0 +1,272 @@
+"""Synthetic graph generators used as dataset stand-ins.
+
+The paper evaluates on USARoad, LiveJournal, Twitter and Friendster.  Those
+datasets are multi-gigabyte downloads that are unavailable offline and far
+beyond pure-Python scale, so this module generates structurally equivalent
+stand-ins (see DESIGN.md section 3):
+
+* :func:`road_network` — a planar-ish 2D grid with perturbed diagonals and
+  unit-ish weights; degree distribution is tightly concentrated around 3-4
+  (non-power-law, like USARoad whose average degree is 2.44).
+* :func:`powerlaw_graph` — a Chung–Lu style sampler whose expected degree
+  sequence follows ``P(d) ∝ d^-eta``; used for the LiveJournal (η≈2.64),
+  Friendster (η≈2.43) and Twitter (η≈1.87) stand-ins.
+* :func:`barabasi_albert` — preferential attachment, an alternative
+  power-law source used in tests.
+* :func:`rmat` — Kronecker-style R-MAT generator (Graph500 parameters by
+  default), another standard power-law source.
+* :func:`erdos_renyi` — uniform random graph used as a non-skewed control.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "road_network",
+    "powerlaw_graph",
+    "barabasi_albert",
+    "rmat",
+    "erdos_renyi",
+    "paper_graph_suite",
+]
+
+
+def road_network(
+    width: int,
+    height: int,
+    diagonal_fraction: float = 0.05,
+    drop_fraction: float = 0.05,
+    seed: int = 0,
+    name: str = "usa-road",
+) -> Graph:
+    """Generate an undirected road-network stand-in on a ``width×height`` grid.
+
+    Vertices are grid points; edges connect horizontal/vertical neighbours,
+    a small fraction of diagonals are added and a small fraction of grid
+    edges dropped so that the graph is not perfectly regular.  Edge weights
+    are drawn uniformly from [1, 2) to emulate road lengths (SSSP needs
+    weights).
+
+    The result mirrors USARoad's salient features: near-constant low
+    degree, large diameter, very large power-law exponent estimate.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    rng = np.random.default_rng(seed)
+
+    def vid(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return x * height + y
+
+    xs, ys = np.meshgrid(np.arange(width), np.arange(height), indexing="ij")
+    # Horizontal edges (x, y) - (x+1, y)
+    hx, hy = xs[:-1, :].ravel(), ys[:-1, :].ravel()
+    h_edges = np.stack([vid(hx, hy), vid(hx + 1, hy)], axis=1)
+    # Vertical edges (x, y) - (x, y+1)
+    vx, vy = xs[:, :-1].ravel(), ys[:, :-1].ravel()
+    v_edges = np.stack([vid(vx, vy), vid(vx, vy + 1)], axis=1)
+    edges = np.concatenate([h_edges, v_edges])
+
+    if drop_fraction > 0:
+        keep = rng.random(len(edges)) >= drop_fraction
+        edges = edges[keep]
+
+    if diagonal_fraction > 0:
+        dx, dy = xs[:-1, :-1].ravel(), ys[:-1, :-1].ravel()
+        diag = np.stack([vid(dx, dy), vid(dx + 1, dy + 1)], axis=1)
+        take = rng.random(len(diag)) < diagonal_fraction
+        edges = np.concatenate([edges, diag[take]])
+
+    g = Graph.from_undirected_edges(edges, num_vertices=width * height, name=name)
+    g.weights = rng.uniform(1.0, 2.0, g.num_edges)
+    return g
+
+
+def _powerlaw_degree_sequence(
+    num_vertices: int, eta: float, min_degree: int, max_degree: int, rng
+) -> np.ndarray:
+    """Sample a degree sequence with ``P(d) ∝ d^-eta`` on [min, max]."""
+    ds = np.arange(min_degree, max_degree + 1, dtype=np.float64)
+    probs = ds ** (-eta)
+    probs /= probs.sum()
+    return rng.choice(ds.astype(np.int64), size=num_vertices, p=probs)
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    eta: float,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    directed: bool = False,
+    seed: int = 0,
+    name: str = "powerlaw",
+) -> Graph:
+    """Generate a Chung–Lu style power-law graph with exponent ``eta``.
+
+    Each vertex draws a target degree from the truncated power law
+    ``P(d) ∝ d^-eta``; edge endpoints are then sampled proportionally to
+    target degrees, reproducing the skew the paper exploits.  Lower ``eta``
+    yields heavier tails (Twitter-like); higher ``eta`` yields flatter
+    graphs (LiveJournal-like).
+
+    Self loops and exact duplicates are removed, so realised edge counts
+    land slightly under the target ``sum(degrees)/2``.
+    """
+    if eta <= 0:
+        raise ValueError("eta must be positive")
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(np.sqrt(num_vertices) * 4))
+    degrees = _powerlaw_degree_sequence(num_vertices, eta, min_degree, max_degree, rng)
+    num_edge_slots = int(degrees.sum()) // 2
+    probs = degrees / degrees.sum()
+    u = rng.choice(num_vertices, size=num_edge_slots, p=probs)
+    v = rng.choice(num_vertices, size=num_edge_slots, p=probs)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    # Deduplicate undirected pairs.
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    pair_key = lo * np.int64(num_vertices) + hi
+    _, uniq = np.unique(pair_key, return_index=True)
+    u, v = lo[uniq], hi[uniq]
+    edges = np.stack([u, v], axis=1)
+    if directed:
+        flip = rng.random(len(edges)) < 0.5
+        edges[flip] = edges[flip][:, ::-1]
+        return Graph.from_edges(edges, num_vertices=num_vertices, directed=True, name=name)
+    return Graph.from_undirected_edges(edges, num_vertices=num_vertices, name=name)
+
+
+def barabasi_albert(
+    num_vertices: int, attach: int = 3, seed: int = 0, name: str = "ba"
+) -> Graph:
+    """Barabási–Albert preferential attachment graph (η ≈ 3).
+
+    Each new vertex attaches to ``attach`` existing vertices chosen
+    proportionally to current degree, using the standard repeated-endpoint
+    trick for O(E) sampling.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if num_vertices <= attach:
+        raise ValueError("num_vertices must exceed attach")
+    rng = np.random.default_rng(seed)
+    # Endpoint pool: every time a vertex gains an edge, append its id.
+    pool = list(range(attach))  # seed clique-ish core
+    src_list = []
+    dst_list = []
+    for v in range(attach, num_vertices):
+        targets = set()
+        while len(targets) < attach:
+            targets.add(int(pool[rng.integers(len(pool))]))
+        for t in targets:
+            src_list.append(v)
+            dst_list.append(t)
+            pool.append(v)
+            pool.append(t)
+    edges = np.stack([np.array(src_list), np.array(dst_list)], axis=1)
+    return Graph.from_undirected_edges(edges, num_vertices=num_vertices, name=name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = True,
+    seed: int = 0,
+    name: str = "rmat",
+) -> Graph:
+    """R-MAT / Kronecker generator with 2^scale vertices.
+
+    Defaults follow the Graph500 parameters (a=0.57, b=0.19, c=0.19,
+    d=0.05), which produce a heavily skewed degree distribution.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("a+b+c must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for bit in range(scale):
+        r = rng.random(m)
+        go_right = ((r >= a) & (r < ab)) | (r >= abc)
+        go_down = r >= ab
+        src |= go_down.astype(np.int64) << bit
+        dst |= go_right.astype(np.int64) << bit
+    keep = src != dst
+    g = Graph(n, src[keep], dst[keep], directed=True, name=name)
+    g = g.simplify()
+    if not directed:
+        return Graph.from_undirected_edges(g.edge_array(), num_vertices=n, name=name)
+    return g
+
+
+def erdos_renyi(
+    num_vertices: int, num_edges: int, directed: bool = True, seed: int = 0, name: str = "er"
+) -> Graph:
+    """Uniform random graph with (approximately) ``num_edges`` edges."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(num_vertices, size=num_edges)
+    dst = rng.integers(num_vertices, size=num_edges)
+    keep = src != dst
+    if directed:
+        return Graph(num_vertices, src[keep], dst[keep], directed=True, name=name).simplify()
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    lo = edges.min(axis=1)
+    hi = edges.max(axis=1)
+    key = lo * np.int64(num_vertices) + hi
+    _, uniq = np.unique(key, return_index=True)
+    return Graph.from_undirected_edges(
+        np.stack([lo[uniq], hi[uniq]], axis=1), num_vertices=num_vertices, name=name
+    )
+
+
+def paper_graph_suite(scale: float = 1.0, seed: int = 7) -> Dict[str, Graph]:
+    """Build the four dataset stand-ins from Table I at a laptop scale.
+
+    ``scale`` multiplies the stand-in vertex counts (1.0 ≈ tens of
+    thousands of edges per graph, small enough for the full benchmark
+    matrix to run in minutes).  The relative proportions follow Table I:
+    USARoad is the largest-V/sparsest, Twitter and Friendster are the
+    densest, and the η ordering (USARoad ≫ LiveJournal > Friendster >
+    Twitter) is preserved.
+
+    Returns a dict with keys ``usa-road``, ``livejournal``, ``friendster``
+    and ``twitter``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def sized(n: int) -> int:
+        return max(64, int(n * scale))
+
+    side = max(8, int(np.sqrt(sized(14_400))))
+    return {
+        "usa-road": road_network(side, side, seed=seed, name="usa-road"),
+        "livejournal": powerlaw_graph(
+            sized(8_000), eta=2.64, min_degree=5, directed=True,
+            seed=seed + 1, name="livejournal",
+        ),
+        "friendster": powerlaw_graph(
+            sized(12_000), eta=2.43, min_degree=8, directed=False,
+            seed=seed + 2, name="friendster",
+        ),
+        "twitter": powerlaw_graph(
+            sized(10_000), eta=1.87, min_degree=8, directed=True,
+            seed=seed + 3, name="twitter",
+        ),
+    }

@@ -1,0 +1,291 @@
+"""Core graph data structure used by every subsystem.
+
+The paper (Section III-C) works with directed graphs ``G = (V, E)`` where an
+edge is an ordered pair ``(u, v)``.  Undirected graphs are represented by
+replacing each undirected edge with two directed edges of opposite
+direction.  This module provides a compact, numpy-backed edge-list graph
+with lazily built CSR adjacency indexes, which is the representation shared
+by the partitioners, the BSP engine and the analysis code.
+
+Vertices are dense integers ``0 .. num_vertices - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph", "CSRIndex"]
+
+
+class CSRIndex:
+    """Compressed sparse row adjacency index over an edge array.
+
+    Maps each vertex to the (contiguous) positions of its incident edges
+    after a stable counting sort of the edge array by ``key`` (either the
+    source or the destination endpoint).
+
+    Parameters
+    ----------
+    key:
+        Array of per-edge vertex ids the index is built on (``src`` for an
+        out-edge index, ``dst`` for an in-edge index).
+    other:
+        The opposite endpoint of each edge.
+    num_vertices:
+        Total number of vertices in the graph.
+    """
+
+    def __init__(self, key: np.ndarray, other: np.ndarray, num_vertices: int):
+        order = np.argsort(key, kind="stable")
+        self.indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        counts = np.bincount(key, minlength=num_vertices)
+        np.cumsum(counts, out=self.indptr[1:])
+        self.neighbors = other[order]
+        self.edge_ids = order
+
+    def neighbors_of(self, v: int) -> np.ndarray:
+        """Return the opposite endpoints of all edges keyed on ``v``."""
+        return self.neighbors[self.indptr[v] : self.indptr[v + 1]]
+
+    def edges_of(self, v: int) -> np.ndarray:
+        """Return the edge ids (positions in the edge arrays) keyed on ``v``."""
+        return self.edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Return the number of edges keyed on ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+
+class Graph:
+    """A directed graph stored as parallel ``src``/``dst`` edge arrays.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids must lie in ``[0, num_vertices)``.
+    src, dst:
+        Parallel integer arrays; edge ``i`` is ``(src[i], dst[i])``.
+    weights:
+        Optional parallel float array of edge weights (used by SSSP).
+    directed:
+        ``True`` if the edge list is inherently directed.  Undirected
+        graphs built through :meth:`from_undirected_edges` store both
+        directions and set this flag to ``False`` for bookkeeping (e.g.
+        Table I reports the *undirected* edge count for undirected inputs,
+        but partitioners operate on the doubled edge array).
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        src: Sequence[int],
+        dst: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+        directed: bool = True,
+        name: str = "graph",
+    ):
+        self.num_vertices = int(num_vertices)
+        self.src = np.ascontiguousarray(src, dtype=np.int64)
+        self.dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        if self.num_vertices <= 0:
+            raise ValueError("graph must have at least one vertex")
+        if self.num_edges:
+            lo = min(self.src.min(), self.dst.min())
+            hi = max(self.src.max(), self.dst.max())
+            if lo < 0 or hi >= self.num_vertices:
+                raise ValueError(
+                    f"edge endpoint out of range [0, {self.num_vertices}): "
+                    f"saw ids in [{lo}, {hi}]"
+                )
+        if weights is not None:
+            self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if self.weights.shape != self.src.shape:
+                raise ValueError("weights must parallel the edge arrays")
+        else:
+            self.weights = None
+        self.directed = bool(directed)
+        self.name = name
+        self._out_index: Optional[CSRIndex] = None
+        self._in_index: Optional[CSRIndex] = None
+        self._degrees: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_vertices: Optional[int] = None,
+        directed: bool = True,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a directed graph from an iterable of ``(u, v)`` pairs."""
+        arr = np.asarray(list(edges), dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+        if num_vertices is None:
+            num_vertices = int(arr.max()) + 1 if arr.size else 1
+        return cls(num_vertices, arr[:, 0], arr[:, 1], directed=directed, name=name)
+
+    @classmethod
+    def from_undirected_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_vertices: Optional[int] = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build the directed doubling of an undirected edge list.
+
+        Per Section III-C of the paper, each undirected edge ``{u, v}``
+        becomes the two directed edges ``(u, v)`` and ``(v, u)``.
+        """
+        arr = np.asarray(list(edges), dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+        if num_vertices is None:
+            num_vertices = int(arr.max()) + 1 if arr.size else 1
+        src = np.concatenate([arr[:, 0], arr[:, 1]])
+        dst = np.concatenate([arr[:, 1], arr[:, 0]])
+        return cls(num_vertices, src, dst, directed=False, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored (directed) edges."""
+        return int(self.src.shape[0])
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Edge count as reported in Table I.
+
+        For undirected graphs the stored array holds both directions, so
+        the logical edge count is half the stored count.
+        """
+        return self.num_edges if self.directed else self.num_edges // 2
+
+    @property
+    def average_degree(self) -> float:
+        """Average (total) degree, matching the Table I convention."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(u, v)`` pairs (python ints)."""
+        for u, v in zip(self.src.tolist(), self.dst.tolist()):
+            yield u, v
+
+    def edge_array(self) -> np.ndarray:
+        """Return an ``(m, 2)`` array view of the edges."""
+        return np.stack([self.src, self.dst], axis=1)
+
+    # ------------------------------------------------------------------
+    # Degrees and adjacency
+    # ------------------------------------------------------------------
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.bincount(self.src, minlength=self.num_vertices)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex."""
+        return np.bincount(self.dst, minlength=self.num_vertices)
+
+    def degrees(self) -> np.ndarray:
+        """Total degree (in + out) of every vertex; cached.
+
+        This is the degree used by the EBV sorting preprocessing and by
+        DBH's "lower-degree end-vertex" rule.
+        """
+        if self._degrees is None:
+            self._degrees = self.out_degrees() + self.in_degrees()
+        return self._degrees
+
+    def out_index(self) -> CSRIndex:
+        """CSR index over edge sources; cached."""
+        if self._out_index is None:
+            self._out_index = CSRIndex(self.src, self.dst, self.num_vertices)
+        return self._out_index
+
+    def in_index(self) -> CSRIndex:
+        """CSR index over edge destinations; cached."""
+        if self._in_index is None:
+            self._in_index = CSRIndex(self.dst, self.src, self.num_vertices)
+        return self._in_index
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Destinations of edges leaving ``v``."""
+        return self.out_index().neighbors_of(v)
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of edges entering ``v``."""
+        return self.in_index().neighbors_of(v)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """All distinct neighbors of ``v`` in either direction."""
+        return np.unique(np.concatenate([self.out_neighbors(v), self.in_neighbors(v)]))
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def with_weights(self, weights: Sequence[float]) -> "Graph":
+        """Return a copy of this graph with the given edge weights."""
+        return Graph(
+            self.num_vertices,
+            self.src.copy(),
+            self.dst.copy(),
+            weights=weights,
+            directed=self.directed,
+            name=self.name,
+        )
+
+    def with_unit_weights(self) -> "Graph":
+        """Return a copy with all edge weights set to 1.0."""
+        return self.with_weights(np.ones(self.num_edges))
+
+    def reversed(self) -> "Graph":
+        """Return the graph with all edges reversed."""
+        return Graph(
+            self.num_vertices,
+            self.dst.copy(),
+            self.src.copy(),
+            weights=None if self.weights is None else self.weights.copy(),
+            directed=self.directed,
+            name=f"{self.name}-rev",
+        )
+
+    def simplify(self) -> "Graph":
+        """Return a copy without self loops and duplicate edges."""
+        keep = self.src != self.dst
+        pairs = self.src[keep] * np.int64(self.num_vertices) + self.dst[keep]
+        _, first = np.unique(pairs, return_index=True)
+        first.sort()
+        src = self.src[keep][first]
+        dst = self.dst[keep][first]
+        w = None if self.weights is None else self.weights[keep][first]
+        return Graph(
+            self.num_vertices, src, dst, weights=w, directed=self.directed, name=self.name
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected(doubled)"
+        return (
+            f"Graph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, {kind})"
+        )

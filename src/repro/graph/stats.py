@@ -1,0 +1,141 @@
+"""Graph statistics: degree distributions and power-law exponent estimation.
+
+Section III-A defines power-law graphs via ``P(degree = d) ∝ d^-η`` and
+Table I reports η for each dataset (even USARoad, "according to the
+definition").  This module provides two η estimators:
+
+* :func:`estimate_eta_mle` — the discrete maximum-likelihood (Hill-style)
+  estimator of Clauset–Shalizi–Newman,
+  ``η ≈ 1 + n / Σ ln(d_i / (d_min - 1/2))``.
+* :func:`estimate_eta_fit` — a log-log least squares fit of the degree
+  histogram, closer to what eyeballing a CCDF gives and tolerant of
+  non-power-law inputs (which is how a road network still "has" an η).
+
+Plus the Table I row generator used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "degree_histogram",
+    "estimate_eta_mle",
+    "estimate_eta_fit",
+    "GraphStats",
+    "graph_stats",
+]
+
+
+def degree_histogram(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(degree_values, counts)`` for nonzero-count degrees >= 1."""
+    deg = graph.degrees()
+    deg = deg[deg > 0]
+    if deg.size == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    counts = np.bincount(deg)
+    values = np.nonzero(counts)[0]
+    values = values[values >= 1]
+    return values, counts[values]
+
+
+def estimate_eta_mle(graph: Graph, d_min: int = 1) -> float:
+    """Discrete MLE for the power-law exponent η.
+
+    Uses the Clauset–Shalizi–Newman approximation restricted to degrees
+    ``>= d_min``.  Raises ``ValueError`` if fewer than two vertices
+    qualify.
+    """
+    deg = graph.degrees().astype(np.float64)
+    deg = deg[deg >= d_min]
+    if deg.size < 2:
+        raise ValueError("not enough vertices with degree >= d_min")
+    return 1.0 + deg.size / np.log(deg / (d_min - 0.5)).sum()
+
+
+def estimate_eta_fit(graph: Graph, min_points: int = 3) -> float:
+    """Estimate η from a log-log least-squares fit of the CCDF tail.
+
+    Fits ``log P(degree >= d)`` against ``log d`` for degrees at or above
+    the histogram mode (the decaying tail); for a power law the CCDF slope
+    is ``-(η - 1)``, so the estimate is ``1 - slope``.  Tail-restricting
+    makes the estimator sensible even for non-power-law inputs: a
+    road-network grid whose degrees concentrate on 3-4 produces a very
+    steep tail and hence a large η, mirroring the paper's convention of
+    quoting η = 6.30 for USARoad.  Distributions spanning fewer than
+    ``min_points`` distinct tail degrees return a large sentinel (20.0).
+    """
+    values, counts = degree_histogram(graph)
+    if values.size == 0:
+        return 20.0
+    mode = values[np.argmax(counts)]
+    tail = values >= mode
+    values, counts = values[tail], counts[tail]
+    if values.size < min_points:
+        return 20.0
+    ccdf = np.cumsum(counts[::-1])[::-1].astype(np.float64)
+    ccdf /= ccdf[0]
+    x = np.log(values.astype(np.float64))
+    y = np.log(ccdf)
+    slope, _ = np.polyfit(x, y, 1)
+    return float(1.0 - slope)
+
+
+@dataclass
+class GraphStats:
+    """One Table I row."""
+
+    name: str
+    kind: str
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    eta: float
+
+    def as_row(self) -> Tuple[str, str, int, int, float, float]:
+        return (
+            self.name,
+            self.kind,
+            self.num_vertices,
+            self.num_edges,
+            round(self.average_degree, 2),
+            round(self.eta, 2),
+        )
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute the Table I statistics row for ``graph``.
+
+    Follows the paper's conventions: undirected graphs report the
+    undirected edge count, and average degree is stored-edges per vertex
+    (so an undirected graph's average degree counts both directions,
+    matching e.g. Friendster's reported 27.53 ≈ 2·|E|/|V|... the paper
+    actually reports |E|/|V| with |E| directed-doubled for undirected
+    graphs; we do the same).
+    """
+    return GraphStats(
+        name=graph.name,
+        kind="Directed" if graph.directed else "Undirected",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_undirected_edges,
+        average_degree=graph.num_edges / graph.num_vertices,
+        eta=estimate_eta_fit(graph),
+    )
+
+
+def stats_table(graphs: Dict[str, Graph]) -> str:
+    """Render a Table I style text table for a dict of graphs."""
+    header = f"{'Graph':<14}{'Type':<12}{'V':>10}{'E':>12}{'AvgDeg':>9}{'eta':>7}"
+    lines = [header, "-" * len(header)]
+    for g in graphs.values():
+        s = graph_stats(g)
+        lines.append(
+            f"{s.name:<14}{s.kind:<12}{s.num_vertices:>10}{s.num_edges:>12}"
+            f"{s.average_degree:>9.2f}{s.eta:>7.2f}"
+        )
+    return "\n".join(lines)

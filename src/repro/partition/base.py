@@ -1,0 +1,194 @@
+"""Partitioner interface and the shared :class:`PartitionResult` container.
+
+The paper (Section III-B/C) distinguishes two partitioning families:
+
+* **vertex-cut (edge partitioning)** — the edge set is split into ``p``
+  disjoint subsets; ``V_i`` is the vertex set covered by ``E_i`` and a
+  vertex may be replicated across subgraphs.  EBV, Ginger, DBH, CVC and
+  NE are vertex-cut.
+* **edge-cut (vertex partitioning)** — the vertex set is split; ``E_i``
+  contains every edge incident to ``V_i`` and cross-partition edges are
+  replicated.  METIS is edge-cut.
+
+:class:`PartitionResult` normalizes both so metrics, the BSP engine and
+the analysis code can treat any partitioner uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["VERTEX_CUT", "EDGE_CUT", "PartitionResult", "Partitioner"]
+
+VERTEX_CUT = "vertex-cut"
+EDGE_CUT = "edge-cut"
+
+
+class PartitionResult:
+    """A finished partition of a graph into ``p`` subgraphs.
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.
+    num_parts:
+        ``p``, the number of subgraphs.
+    edge_parts:
+        For vertex-cut results: array of length ``graph.num_edges`` giving
+        each edge's subgraph in ``[0, p)``.  For edge-cut results this is
+        derived (each edge is *owned* by its source vertex's part, while
+        replicas extend to the destination's part).
+    vertex_parts:
+        For edge-cut results: array of length ``graph.num_vertices`` giving
+        each vertex's (unique) subgraph.  ``None`` for vertex-cut.
+    kind:
+        ``VERTEX_CUT`` or ``EDGE_CUT``.
+    method:
+        Name of the producing algorithm, used in reports.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_parts: int,
+        edge_parts: Optional[np.ndarray] = None,
+        vertex_parts: Optional[np.ndarray] = None,
+        kind: str = VERTEX_CUT,
+        method: str = "unknown",
+    ):
+        if kind not in (VERTEX_CUT, EDGE_CUT):
+            raise ValueError(f"unknown partition kind {kind!r}")
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        self.graph = graph
+        self.num_parts = int(num_parts)
+        self.kind = kind
+        self.method = method
+
+        if kind == VERTEX_CUT:
+            if edge_parts is None:
+                raise ValueError("vertex-cut result requires edge_parts")
+            self.edge_parts = np.ascontiguousarray(edge_parts, dtype=np.int64)
+            if self.edge_parts.shape[0] != graph.num_edges:
+                raise ValueError("edge_parts must cover every edge")
+            self.vertex_parts = None
+        else:
+            if vertex_parts is None:
+                raise ValueError("edge-cut result requires vertex_parts")
+            self.vertex_parts = np.ascontiguousarray(vertex_parts, dtype=np.int64)
+            if self.vertex_parts.shape[0] != graph.num_vertices:
+                raise ValueError("vertex_parts must cover every vertex")
+            # Each edge is executed in its source's partition; the
+            # destination's partition holds a replica if it differs.
+            self.edge_parts = self.vertex_parts[graph.src]
+        if self.edge_parts.size and (
+            self.edge_parts.min() < 0 or self.edge_parts.max() >= num_parts
+        ):
+            raise ValueError("part ids out of range")
+        self._vertex_membership: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def edge_counts(self) -> np.ndarray:
+        """``|E_i|`` for every subgraph.
+
+        For edge-cut partitions this counts *replicated* edges: every edge
+        incident to ``V_i`` belongs to ``E_i`` (Section III-C), so a
+        cross-partition edge is counted in both endpoint partitions.
+        """
+        if self.kind == VERTEX_CUT:
+            return np.bincount(self.edge_parts, minlength=self.num_parts)
+        src_p = self.vertex_parts[self.graph.src]
+        dst_p = self.vertex_parts[self.graph.dst]
+        counts = np.bincount(src_p, minlength=self.num_parts)
+        cross = src_p != dst_p
+        counts += np.bincount(dst_p[cross], minlength=self.num_parts)
+        return counts
+
+    def vertex_membership(self) -> List[np.ndarray]:
+        """For each subgraph ``i``, the sorted array of vertices in ``V_i``."""
+        if self._vertex_membership is None:
+            members: List[np.ndarray] = []
+            if self.kind == VERTEX_CUT:
+                for i in range(self.num_parts):
+                    mask = self.edge_parts == i
+                    verts = np.unique(
+                        np.concatenate([self.graph.src[mask], self.graph.dst[mask]])
+                    )
+                    members.append(verts)
+            else:
+                # V_i is the owned vertex set plus ghosts (other endpoints
+                # of replicated edges).  For metrics purposes the paper
+                # treats edge-cut V_i as the *owned* set (Σ|V_i| = |V|).
+                for i in range(self.num_parts):
+                    members.append(np.nonzero(self.vertex_parts == i)[0])
+            self._vertex_membership = members
+        return self._vertex_membership
+
+    def vertex_counts(self) -> np.ndarray:
+        """``|V_i|`` for every subgraph (see :meth:`vertex_membership`)."""
+        return np.array([m.size for m in self.vertex_membership()], dtype=np.int64)
+
+    def replica_map(self) -> List[np.ndarray]:
+        """For each vertex, the sorted array of subgraphs holding a copy.
+
+        For vertex-cut results these are the replica locations; for
+        edge-cut results these are the owner plus every partition that
+        holds the vertex as a ghost endpoint of a replicated edge.
+        """
+        pairs = set()
+        if self.kind == VERTEX_CUT:
+            for arr, parts in ((self.graph.src, self.edge_parts), (self.graph.dst, self.edge_parts)):
+                uniq = np.unique(arr * np.int64(self.num_parts) + parts)
+                for key in uniq.tolist():
+                    pairs.add((key // self.num_parts, key % self.num_parts))
+        else:
+            for v, p in enumerate(self.vertex_parts.tolist()):
+                pairs.add((v, p))
+            src_p = self.vertex_parts[self.graph.src]
+            dst_p = self.vertex_parts[self.graph.dst]
+            cross = src_p != dst_p
+            for v, p in zip(self.graph.dst[cross].tolist(), src_p[cross].tolist()):
+                pairs.add((v, p))
+            for v, p in zip(self.graph.src[cross].tolist(), dst_p[cross].tolist()):
+                pairs.add((v, p))
+        out: List[List[int]] = [[] for _ in range(self.graph.num_vertices)]
+        for v, p in sorted(pairs):
+            out[v].append(p)
+        return [np.asarray(ps, dtype=np.int64) for ps in out]
+
+    def subgraph_edges(self, part: int) -> np.ndarray:
+        """Edge ids assigned to (executed by) subgraph ``part``."""
+        return np.nonzero(self.edge_parts == part)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionResult(method={self.method!r}, kind={self.kind!r}, "
+            f"p={self.num_parts}, graph={self.graph.name!r})"
+        )
+
+
+class Partitioner(abc.ABC):
+    """Base class for all partition algorithms.
+
+    Subclasses implement :meth:`partition`, taking a graph and the number
+    of target subgraphs and returning a :class:`PartitionResult`.
+    """
+
+    #: human-readable algorithm name (class attribute overridden by each
+    #: implementation; used as the default ``method`` on results).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Partition ``graph`` into ``num_parts`` subgraphs."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,46 @@
+"""Degree-Based Hashing (DBH), Xie et al., NeurIPS 2014.
+
+DBH is a one-pass self-based vertex-cut: edge ``(u, v)`` is placed by
+hashing the id of its *lower-degree* endpoint.  High-degree hub vertices
+are thereby the ones that get cut (replicated), which both bounds the
+replication factor on power-law graphs and yields near-perfect edge
+balance — but its replication factor is well above greedy methods like
+EBV because it never looks at where replicas already live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .base import VERTEX_CUT, Partitioner, PartitionResult
+from .hashing import mix64
+
+__all__ = ["DBHPartitioner"]
+
+
+class DBHPartitioner(Partitioner):
+    """Degree-Based Hashing edge partitioner.
+
+    Parameters
+    ----------
+    seed:
+        Hash seed; different seeds give independent random placements.
+    """
+
+    name = "DBH"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Hash each edge on its lower-degree endpoint (ties: smaller id)."""
+        degrees = graph.degrees()
+        du = degrees[graph.src]
+        dv = degrees[graph.dst]
+        pick_src = (du < dv) | ((du == dv) & (graph.src <= graph.dst))
+        low_vertex = np.where(pick_src, graph.src, graph.dst)
+        parts = (mix64(low_vertex, self.seed) % np.uint64(num_parts)).astype(np.int64)
+        return PartitionResult(
+            graph, num_parts, edge_parts=parts, kind=VERTEX_CUT, method=self.name
+        )

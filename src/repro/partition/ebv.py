@@ -1,0 +1,205 @@
+"""EBV: the Efficient and Balanced Vertex-cut partitioner (Algorithm 1).
+
+EBV processes edges one at a time and assigns edge ``(u, v)`` to the
+subgraph ``i`` minimizing the evaluation function (Eq. 2)::
+
+    Eva_(u,v)(i) = I(u ∉ keep[i]) + I(v ∉ keep[i])
+                 + α · ecount[i] / (|E| / p)
+                 + β · vcount[i] / (|V| / p)
+
+The two indicator terms penalize creating new vertex replicas (driving
+the replication factor down) while the α and β terms penalize edge and
+vertex count imbalance (driving both imbalance factors toward 1).  Ties
+are broken toward the lowest subgraph id, matching ``arg min``.
+
+Before partitioning, the *sorting preprocessing* (Section IV-C) orders
+edges by ascending sum of end-vertex degrees, so low-degree edges are
+spread evenly as per-subgraph "seeds" before high-degree hubs arrive.
+The ``sort_order`` knob also supports the ablations from DESIGN.md (A3):
+descending, random, and raw input order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from .base import VERTEX_CUT, Partitioner, PartitionResult
+
+__all__ = ["EBVPartitioner", "SORT_ORDERS", "edge_processing_order"]
+
+SORT_ORDERS = ("ascending", "descending", "random", "input")
+
+
+def edge_processing_order(
+    graph: Graph, sort_order: str = "ascending", seed: int = 0
+) -> np.ndarray:
+    """Return the edge permutation used by EBV's preprocessing.
+
+    ``ascending`` is the paper's EBV-sort (stable sort by the sum of
+    end-vertex total degrees); ``input`` is EBV-unsort; ``descending``
+    and ``random`` exist for the sorting ablation.
+    """
+    if sort_order not in SORT_ORDERS:
+        raise ValueError(f"sort_order must be one of {SORT_ORDERS}")
+    if sort_order == "input":
+        return np.arange(graph.num_edges, dtype=np.int64)
+    if sort_order == "random":
+        rng = np.random.default_rng(seed)
+        return rng.permutation(graph.num_edges).astype(np.int64)
+    degrees = graph.degrees()
+    key = degrees[graph.src] + degrees[graph.dst]
+    order = np.argsort(key, kind="stable")
+    if sort_order == "descending":
+        order = order[::-1]
+    return order.astype(np.int64)
+
+
+class EBVPartitioner(Partitioner):
+    """Efficient and Balanced Vertex-cut partitioner.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the edge-balance term (default 1, per Section IV-C).
+    beta:
+        Weight of the vertex-balance term (default 1).
+    sort_order:
+        One of :data:`SORT_ORDERS`; ``"ascending"`` is EBV-sort (the
+        paper default) and ``"input"`` is EBV-unsort.
+    track_growth:
+        When ``True``, record ``Σ_i |V_i|`` after every assigned edge so
+        the Figure 5 replication-factor growth curve can be plotted; the
+        trace is exposed as :attr:`last_trace`.
+    seed:
+        Only used by the ``"random"`` sort order.
+    """
+
+    name = "EBV"
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sort_order: str = "ascending",
+        track_growth: bool = False,
+        seed: int = 0,
+    ):
+        if alpha <= 0 or beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+        if sort_order not in SORT_ORDERS:
+            raise ValueError(f"sort_order must be one of {SORT_ORDERS}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.sort_order = sort_order
+        self.track_growth = bool(track_growth)
+        self.seed = seed
+        #: after :meth:`partition` with ``track_growth=True``: int64 array
+        #: whose ``m``-th entry is ``Σ_i |V_i|`` after ``m+1`` edges.
+        self.last_trace: Optional[np.ndarray] = None
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Run Algorithm 1 and return the vertex-cut partition."""
+        edge_parts, trace = self._run(graph, num_parts)
+        self.last_trace = trace
+        suffix = "-sort" if self.sort_order == "ascending" else (
+            "-unsort" if self.sort_order == "input" else f"-{self.sort_order}"
+        )
+        return PartitionResult(
+            graph,
+            num_parts,
+            edge_parts=edge_parts,
+            kind=VERTEX_CUT,
+            method=f"{self.name}{suffix}" if suffix != "-sort" else self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+
+    def _run(
+        self, graph: Graph, num_parts: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        m = graph.num_edges
+        n = graph.num_vertices
+        order = edge_processing_order(graph, self.sort_order, self.seed)
+        edge_parts = np.full(m, -1, dtype=np.int64)
+        if num_parts == 1:
+            edge_parts[:] = 0
+            trace = None
+            if self.track_growth and m:
+                # With one part, V_1 grows as distinct endpoints appear.
+                seen = np.zeros(n, dtype=bool)
+                trace = np.zeros(m, dtype=np.int64)
+                count = 0
+                for t, e in enumerate(order.tolist()):
+                    for w in (int(graph.src[e]), int(graph.dst[e])):
+                        if not seen[w]:
+                            seen[w] = True
+                            count += 1
+                    trace[t] = count
+            return edge_parts, trace
+
+        # Per-part balance term, updated incrementally:
+        #   balance[i] = α·ecount[i]/(|E|/p) + β·vcount[i]/(|V|/p)
+        balance = np.zeros(num_parts, dtype=np.float64)
+        edge_unit = self.alpha / (m / num_parts) if m else 0.0
+        vertex_unit = self.beta / (n / num_parts)
+        # parts_of[v]: list of part ids whose keep-set contains v.
+        parts_of = [[] for _ in range(n)]
+        trace = np.zeros(m, dtype=np.int64) if self.track_growth else None
+        covered = 0
+
+        src = graph.src
+        dst = graph.dst
+        eva = np.empty(num_parts, dtype=np.float64)
+        for t, e in enumerate(order.tolist()):
+            u = int(src[e])
+            v = int(dst[e])
+            pu = parts_of[u]
+            pv = parts_of[v]
+            # Eva[i] = balance[i] + 2 - I(u∈keep[i]) - I(v∈keep[i])
+            np.add(balance, 2.0, out=eva)
+            if pu:
+                eva[pu] -= 1.0
+            if pv:
+                eva[pv] -= 1.0
+            i = int(np.argmin(eva))
+            edge_parts[e] = i
+            balance[i] += edge_unit
+            if i not in pu:
+                pu.append(i)
+                balance[i] += vertex_unit
+                covered += 1
+            if u != v and i not in pv:
+                pv.append(i)
+                balance[i] += vertex_unit
+                covered += 1
+            if trace is not None:
+                trace[t] = covered
+        return edge_parts, trace
+
+    # ------------------------------------------------------------------
+    # Figure 5 support
+    # ------------------------------------------------------------------
+
+    def growth_curve(
+        self, graph: Graph, max_points: int = 512
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(edges_processed, replication_factor)`` sample arrays.
+
+        Requires :meth:`partition` to have been called with
+        ``track_growth=True``.  Down-samples the per-edge trace to at most
+        ``max_points`` points for plotting/reporting.
+        """
+        if self.last_trace is None:
+            raise RuntimeError("partition(..) with track_growth=True must run first")
+        m = self.last_trace.shape[0]
+        idx = np.unique(np.linspace(0, m - 1, num=min(max_points, m)).astype(np.int64))
+        x = idx + 1
+        y = self.last_trace[idx] / graph.num_vertices
+        return x, y

@@ -1,0 +1,29 @@
+"""Deterministic integer mixing used by the hash-based partitioners.
+
+Python's builtin ``hash`` of an int is the identity, which makes
+``hash(v) % p`` systematically biased for structured vertex ids (e.g. the
+grid ids of the road graph).  All hash-based partitioners (DBH, CVC,
+random hash) therefore share this splitmix64-style finalizer, which is
+vectorizable with numpy and stable across runs/platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mix64"]
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+_C1 = np.uint64(0xBF58476D1CE4E5B9)
+_C2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def mix64(x: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Apply the splitmix64 finalizer to an int array; returns uint64."""
+    offset = np.uint64((0x9E3779B97F4A7C15 * (seed + 1)) & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        z = (np.asarray(x).astype(np.uint64) + offset) & _MASK
+        z = (z ^ (z >> np.uint64(30))) * _C1 & _MASK
+        z = (z ^ (z >> np.uint64(27))) * _C2 & _MASK
+        return z ^ (z >> np.uint64(31))

@@ -1,0 +1,314 @@
+"""A METIS-style multilevel edge-cut partitioner, built from scratch.
+
+METIS (Karypis & Kumar) is the canonical *local-based edge-cut*
+partitioner: it balances **vertex** counts and minimizes the number of
+cut edges, with no control over per-partition *edge* counts.  On
+power-law graphs that omission is fatal — a balanced-vertex partition
+can pack a hub's entire edge neighborhood into one part, which is the
+edge-imbalance explosion the paper measures (Table III: edge imbalance
+2.1–6.4 on the power-law graphs while vertex imbalance stays ~1.03).
+
+This implementation follows the classic multilevel recipe:
+
+1. **Coarsening** by heavy-edge matching (HEM): repeatedly contract a
+   maximal matching that prefers heavy edges, carrying vertex and edge
+   weights, until the graph is small or stops shrinking.
+2. **Initial partitioning** by greedy graph growing on the coarsest
+   graph: parts are grown one at a time from low-connectivity seeds
+   until they reach the vertex-weight target.
+3. **Uncoarsening with refinement**: project the partition back level
+   by level, running a greedy Kernighan–Lin/FM-style boundary pass at
+   each level that moves vertices to their best-gain part subject to a
+   vertex-weight balance tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+from .base import EDGE_CUT, Partitioner, PartitionResult
+
+__all__ = ["MetisLikePartitioner"]
+
+
+class _WeightedGraph:
+    """Undirected weighted CSR used internally by the multilevel driver."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        edge_weights: np.ndarray,
+        vertex_weights: np.ndarray,
+    ):
+        self.num_vertices = num_vertices
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.edge_weights = edge_weights
+        self.vertex_weights = vertex_weights
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "_WeightedGraph":
+        """Symmetrize the input and collapse parallel edges into weights."""
+        n = graph.num_vertices
+        u = np.concatenate([graph.src, graph.dst])
+        v = np.concatenate([graph.dst, graph.src])
+        keep = u != v
+        u, v = u[keep], v[keep]
+        key = u * np.int64(n) + v
+        uniq, counts = np.unique(key, return_counts=True)
+        uu = (uniq // n).astype(np.int64)
+        vv = (uniq % n).astype(np.int64)
+        order = np.argsort(uu, kind="stable")
+        uu, vv, counts = uu[order], vv[order], counts[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(uu, minlength=n), out=indptr[1:])
+        return cls(
+            n,
+            indptr,
+            vv,
+            counts.astype(np.float64),
+            np.ones(n, dtype=np.float64),
+        )
+
+    def neighbors_of(self, x: int) -> Tuple[np.ndarray, np.ndarray]:
+        sl = slice(self.indptr[x], self.indptr[x + 1])
+        return self.neighbors[sl], self.edge_weights[sl]
+
+
+def _heavy_edge_matching(wg: _WeightedGraph, rng) -> np.ndarray:
+    """Return ``match`` where ``match[v]`` is v's partner (or v itself)."""
+    n = wg.num_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for x in order.tolist():
+        if match[x] >= 0:
+            continue
+        nbrs, wts = wg.neighbors_of(x)
+        best, best_w = -1, -1.0
+        for y, w in zip(nbrs.tolist(), wts.tolist()):
+            if match[y] < 0 and y != x and w > best_w:
+                best, best_w = y, w
+        if best >= 0:
+            match[x] = best
+            match[best] = x
+        else:
+            match[x] = x
+    return match
+
+
+def _contract(wg: _WeightedGraph, match: np.ndarray) -> Tuple["_WeightedGraph", np.ndarray]:
+    """Contract matched pairs; returns the coarse graph and the fine→coarse map."""
+    n = wg.num_vertices
+    coarse_id = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if coarse_id[v] >= 0:
+            continue
+        coarse_id[v] = next_id
+        partner = int(match[v])
+        if partner != v and coarse_id[partner] < 0:
+            coarse_id[partner] = next_id
+        next_id += 1
+    cn = next_id
+    cu = coarse_id[np.repeat(np.arange(n), np.diff(wg.indptr))]
+    cv = coarse_id[wg.neighbors]
+    keep = cu != cv
+    cu, cv, w = cu[keep], cv[keep], wg.edge_weights[keep]
+    key = cu * np.int64(cn) + cv
+    uniq, inverse = np.unique(key, return_inverse=True)
+    weights = np.bincount(inverse, weights=w)
+    uu = (uniq // cn).astype(np.int64)
+    vv = (uniq % cn).astype(np.int64)
+    order = np.argsort(uu, kind="stable")
+    uu, vv, weights = uu[order], vv[order], weights[order]
+    indptr = np.zeros(cn + 1, dtype=np.int64)
+    np.cumsum(np.bincount(uu, minlength=cn), out=indptr[1:])
+    vwgt = np.bincount(coarse_id, weights=wg.vertex_weights, minlength=cn)
+    return _WeightedGraph(cn, indptr, vv, weights, vwgt), coarse_id
+
+
+def _greedy_grow_initial(wg: _WeightedGraph, num_parts: int, rng) -> np.ndarray:
+    """Greedy graph growing: fill parts sequentially to the weight target."""
+    n = wg.num_vertices
+    parts = np.full(n, -1, dtype=np.int64)
+    total = wg.vertex_weights.sum()
+    target = total / num_parts
+    order = np.lexsort((rng.random(n), wg.vertex_weights))
+    ptr = 0
+    for k in range(num_parts - 1):
+        weight = 0.0
+        frontier: List[int] = []
+        while weight < target:
+            x = -1
+            while frontier:
+                cand = frontier.pop()
+                if parts[cand] < 0:
+                    x = cand
+                    break
+            if x < 0:
+                while ptr < n and parts[order[ptr]] >= 0:
+                    ptr += 1
+                if ptr >= n:
+                    break
+                x = int(order[ptr])
+            parts[x] = k
+            weight += wg.vertex_weights[x]
+            nbrs, _ = wg.neighbors_of(x)
+            for y in nbrs.tolist():
+                if parts[y] < 0:
+                    frontier.append(y)
+        if ptr >= n and not frontier:
+            break
+    parts[parts < 0] = num_parts - 1
+    return parts
+
+
+def _rebalance(
+    wg: _WeightedGraph,
+    parts: np.ndarray,
+    part_weight: np.ndarray,
+    max_weight: float,
+) -> None:
+    """Move vertices out of overweight parts, least-attached first.
+
+    Gain-only refinement never drains an overweight part (moves into it
+    are blocked but nothing forces moves out), so METIS-style balancing
+    needs this explicit step: evict the vertices with the weakest
+    internal connectivity to the lightest parts until within tolerance.
+    """
+    num_parts = part_weight.shape[0]
+    conn = np.zeros(num_parts, dtype=np.float64)
+    for here in range(num_parts):
+        if part_weight[here] <= max_weight:
+            continue
+        members = np.nonzero(parts == here)[0]
+        # Cheapest-to-evict first: lowest internal edge weight.
+        internal = np.zeros(members.shape[0])
+        for i, x in enumerate(members.tolist()):
+            nbrs, wts = wg.neighbors_of(x)
+            internal[i] = wts[parts[nbrs] == here].sum() if nbrs.size else 0.0
+        for i in np.argsort(internal).tolist():
+            if part_weight[here] <= max_weight:
+                break
+            x = int(members[i])
+            xw = wg.vertex_weights[x]
+            nbrs, wts = wg.neighbors_of(x)
+            conn.fill(0.0)
+            if nbrs.size:
+                np.add.at(conn, parts[nbrs], wts)
+            conn[here] = -np.inf
+            # Prefer the most-connected part that has room, else lightest.
+            order = np.argsort(conn)[::-1]
+            target = -1
+            for cand in order.tolist():
+                if part_weight[cand] + xw <= max_weight:
+                    target = cand
+                    break
+            if target < 0:
+                target = int(np.argmin(part_weight))
+                if target == here:
+                    continue
+            parts[x] = target
+            part_weight[here] -= xw
+            part_weight[target] += xw
+
+
+def _refine(
+    wg: _WeightedGraph,
+    parts: np.ndarray,
+    num_parts: int,
+    tolerance: float,
+    passes: int = 4,
+) -> np.ndarray:
+    """Greedy FM-style boundary refinement under a vertex-weight tolerance."""
+    part_weight = np.bincount(
+        parts, weights=wg.vertex_weights, minlength=num_parts
+    ).astype(np.float64)
+    max_weight = tolerance * wg.vertex_weights.sum() / num_parts
+    _rebalance(wg, parts, part_weight, max_weight)
+    conn = np.zeros(num_parts, dtype=np.float64)
+    for _ in range(passes):
+        moved = 0
+        for x in range(wg.num_vertices):
+            nbrs, wts = wg.neighbors_of(x)
+            if nbrs.size == 0:
+                continue
+            here = int(parts[x])
+            conn.fill(0.0)
+            np.add.at(conn, parts[nbrs], wts)
+            internal = conn[here]
+            conn[here] = -np.inf
+            best = int(np.argmax(conn))
+            gain = conn[best] - internal
+            if gain <= 0:
+                continue
+            xw = wg.vertex_weights[x]
+            if part_weight[best] + xw > max_weight:
+                continue
+            parts[x] = best
+            part_weight[here] -= xw
+            part_weight[best] += xw
+            moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+class MetisLikePartitioner(Partitioner):
+    """Multilevel edge-cut (vertex partitioning) in the style of METIS.
+
+    Parameters
+    ----------
+    tolerance:
+        Allowed vertex-weight imbalance (METIS's default is ~1.03).
+    coarsen_to:
+        Stop coarsening when the graph has at most
+        ``max(coarsen_to, 20 · p)`` vertices.
+    seed:
+        Randomizes matching and seed orders.
+    """
+
+    name = "METIS"
+
+    def __init__(self, tolerance: float = 1.03, coarsen_to: int = 128, seed: int = 0):
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        self.tolerance = float(tolerance)
+        self.coarsen_to = int(coarsen_to)
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Coarsen, partition the coarsest graph, then refine back up."""
+        rng = np.random.default_rng(self.seed)
+        levels: List[Tuple[_WeightedGraph, Optional[np.ndarray]]] = []
+        wg = _WeightedGraph.from_graph(graph)
+        levels.append((wg, None))
+        floor = max(self.coarsen_to, 20 * num_parts)
+        while wg.num_vertices > floor:
+            match = _heavy_edge_matching(wg, rng)
+            coarse, mapping = _contract(wg, match)
+            if coarse.num_vertices >= wg.num_vertices * 0.95:
+                break  # diminishing returns; stop coarsening
+            levels.append((coarse, mapping))
+            wg = coarse
+
+        parts = _greedy_grow_initial(wg, num_parts, rng)
+        parts = _refine(wg, parts, num_parts, self.tolerance)
+        # Project back through the levels, refining at each.
+        for level in range(len(levels) - 1, 0, -1):
+            fine_wg, _ = levels[level - 1]
+            _, mapping = levels[level]
+            parts = parts[mapping]
+            parts = _refine(fine_wg, parts, num_parts, self.tolerance)
+        return PartitionResult(
+            graph,
+            num_parts,
+            vertex_parts=parts,
+            kind=EDGE_CUT,
+            method=self.name,
+        )

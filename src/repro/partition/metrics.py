@@ -1,0 +1,121 @@
+"""Partition quality metrics from Section III-C, plus the Theorem 1/2 bounds.
+
+Three metrics drive the whole evaluation:
+
+* **edge imbalance factor** ``max_i |E_i| / (|E|/p)``;
+* **vertex imbalance factor** ``max_i |V_i| / (Σ_i |V_i| / p)``;
+* **replication factor** ``Σ_i |V_i| / |V|`` for vertex-cut and
+  ``Σ_i |E_i| / |E|`` for edge-cut.
+
+Theorems 1 and 2 give worst-case upper bounds on the two imbalance
+factors for EBV as a function of the hyperparameters α and β; they are
+implemented here so property tests and the bound-tightness ablation can
+check measured values against them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import EDGE_CUT, VERTEX_CUT, PartitionResult
+
+__all__ = [
+    "edge_imbalance_factor",
+    "vertex_imbalance_factor",
+    "replication_factor",
+    "theorem1_edge_imbalance_bound",
+    "theorem2_vertex_imbalance_bound",
+    "PartitionMetrics",
+    "partition_metrics",
+]
+
+
+def edge_imbalance_factor(result: PartitionResult) -> float:
+    """``max_i |E_i| / (|E| / p)``; 1.0 is perfectly balanced."""
+    counts = result.edge_counts()
+    total = result.graph.num_edges
+    if total == 0:
+        return 1.0
+    return float(counts.max() / (total / result.num_parts))
+
+
+def vertex_imbalance_factor(result: PartitionResult) -> float:
+    """``max_i |V_i| / (Σ_j |V_j| / p)``; 1.0 is perfectly balanced."""
+    counts = result.vertex_counts()
+    total = int(counts.sum())
+    if total == 0:
+        return 1.0
+    return float(counts.max() / (total / result.num_parts))
+
+
+def replication_factor(result: PartitionResult) -> float:
+    """Average number of replicas per vertex (vertex-cut) or edge (edge-cut).
+
+    Section III-C: vertex-cut uses ``Σ|V_i| / |V|``; for edge-cut
+    ``Σ|V_i| = |V|`` identically, so ``Σ|E_i| / |E|`` is used instead.
+    """
+    if result.kind == VERTEX_CUT:
+        covered = int(result.vertex_counts().sum())
+        return covered / result.graph.num_vertices
+    return float(result.edge_counts().sum() / max(result.graph.num_edges, 1))
+
+
+def theorem1_edge_imbalance_bound(
+    num_edges: int, num_vertices: int, num_parts: int, alpha: float, beta: float
+) -> float:
+    """Theorem 1 upper bound on EBV's edge imbalance factor.
+
+    ``1 + (p-1)/|E| * (1 + floor(2|E|/(αp) + (β/α)|E|))``.
+    """
+    if num_edges <= 0:
+        return 1.0
+    inner = math.floor(2 * num_edges / (alpha * num_parts) + (beta / alpha) * num_edges)
+    return 1.0 + (num_parts - 1) / num_edges * (1 + inner)
+
+
+def theorem2_vertex_imbalance_bound(
+    num_vertices: int, covered_vertices: int, num_parts: int, alpha: float, beta: float
+) -> float:
+    """Theorem 2 upper bound on EBV's vertex imbalance factor.
+
+    ``1 + (p-1)/Σ|V_j| * (1 + floor(2|V|/(βp) + (α/β)|V|))`` where
+    ``covered_vertices`` is ``Σ_j |V_j|`` from the finished partition.
+    """
+    if covered_vertices <= 0:
+        return 1.0
+    inner = math.floor(
+        2 * num_vertices / (beta * num_parts) + (alpha / beta) * num_vertices
+    )
+    return 1.0 + (num_parts - 1) / covered_vertices * (1 + inner)
+
+
+@dataclass
+class PartitionMetrics:
+    """One Table III cell group: the three metrics for one partition."""
+
+    method: str
+    graph: str
+    num_parts: int
+    edge_imbalance: float
+    vertex_imbalance: float
+    replication: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.method:<10}{self.graph:<14}{self.num_parts:>4}"
+            f"{self.edge_imbalance:>8.2f}{self.vertex_imbalance:>8.2f}"
+            f"{self.replication:>8.2f}"
+        )
+
+
+def partition_metrics(result: PartitionResult) -> PartitionMetrics:
+    """Compute all Table III metrics for a finished partition."""
+    return PartitionMetrics(
+        method=result.method,
+        graph=result.graph.name,
+        num_parts=result.num_parts,
+        edge_imbalance=edge_imbalance_factor(result),
+        vertex_imbalance=vertex_imbalance_factor(result),
+        replication=replication_factor(result),
+    )

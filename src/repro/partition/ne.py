@@ -1,0 +1,147 @@
+"""Neighbor Expansion (NE), Zhang et al., KDD 2017.
+
+NE is a *local-based* vertex-cut: it grows each subgraph by repeatedly
+moving the most promising boundary vertex into a core set and allocating
+its incident edges, which preserves local structure and yields very low
+replication factors.  Subgraphs are filled one at a time up to an exact
+edge capacity ``|E|/p``, so the edge imbalance factor is ~1 by
+construction — but nothing bounds how many *vertices* a subgraph
+touches, which is exactly the failure mode the paper demonstrates on
+power-law graphs (vertex imbalance factors of 2.1–3.6 in Table III).
+
+The boundary heuristic follows the paper: expand the boundary vertex
+with the fewest unassigned ("external") incident edges, seeding from the
+globally minimum-degree unassigned vertex when the boundary is empty.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from ..graph import Graph
+from .base import VERTEX_CUT, Partitioner, PartitionResult
+
+__all__ = ["NEPartitioner"]
+
+
+class _Incidence:
+    """CSR of edge ids incident to each vertex (either endpoint)."""
+
+    def __init__(self, graph: Graph):
+        n = graph.num_vertices
+        endpoints = np.concatenate([graph.src, graph.dst])
+        edge_ids = np.concatenate(
+            [np.arange(graph.num_edges), np.arange(graph.num_edges)]
+        )
+        # Self loops would appear twice; drop the duplicate occurrence.
+        dup = np.zeros(endpoints.shape[0], dtype=bool)
+        loops = graph.src == graph.dst
+        dup[graph.num_edges :] = loops
+        endpoints = endpoints[~dup]
+        edge_ids = edge_ids[~dup]
+        order = np.argsort(endpoints, kind="stable")
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(endpoints, minlength=n), out=self.indptr[1:])
+        self.edge_ids = edge_ids[order]
+
+    def edges_of(self, v: int) -> np.ndarray:
+        return self.edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+
+class NEPartitioner(Partitioner):
+    """Neighbor-expansion edge partitioner.
+
+    Parameters
+    ----------
+    seed:
+        Reserved for tie-breaking randomization (the implementation is
+        deterministic; the seed only perturbs the seed-vertex ordering).
+    """
+
+    name = "NE"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Grow ``num_parts`` subgraphs to an exact edge capacity each."""
+        m = graph.num_edges
+        n = graph.num_vertices
+        edge_parts = np.full(m, -1, dtype=np.int64)
+        if num_parts == 1:
+            edge_parts[:] = 0
+            return PartitionResult(
+                graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT, method=self.name
+            )
+        incidence = _Incidence(graph)
+        # Unassigned incident edges per vertex; derived from the incidence
+        # index (NOT graph.degrees(), which counts self loops twice while
+        # the incidence stores them once).
+        ext_deg = np.diff(incidence.indptr).copy()
+        rng = np.random.default_rng(self.seed)
+        # Global seed order: ascending degree with random tie-break.
+        seed_order = np.lexsort((rng.random(n), ext_deg))
+        seed_ptr = 0
+        src = graph.src
+        dst = graph.dst
+        assigned = 0
+
+        for k in range(num_parts):
+            remaining_parts = num_parts - k
+            capacity = (m - assigned + remaining_parts - 1) // remaining_parts
+            if capacity <= 0:
+                continue
+            count = 0
+            boundary: List = []  # heap of (ext_deg_snapshot, vertex)
+            in_core = set()
+
+            def push(v: int) -> None:
+                if ext_deg[v] > 0:
+                    heapq.heappush(boundary, (int(ext_deg[v]), v))
+
+            while count < capacity and assigned < m:
+                x = -1
+                while boundary:
+                    d, cand = heapq.heappop(boundary)
+                    if cand in in_core or ext_deg[cand] == 0:
+                        continue  # stale entry
+                    if d != ext_deg[cand]:
+                        heapq.heappush(boundary, (int(ext_deg[cand]), cand))
+                        continue
+                    x = cand
+                    break
+                if x < 0:
+                    # Boundary exhausted: seed from the global min-degree
+                    # vertex with unassigned edges.  ext_deg > 0 implies
+                    # at least one unassigned incident edge (both are
+                    # maintained from the incidence index), so a seed
+                    # always makes progress.
+                    while seed_ptr < n and ext_deg[seed_order[seed_ptr]] == 0:
+                        seed_ptr += 1
+                    if seed_ptr >= n:
+                        break
+                    x = int(seed_order[seed_ptr])
+                in_core.add(x)
+                for e in incidence.edges_of(x).tolist():
+                    if edge_parts[e] >= 0:
+                        continue
+                    edge_parts[e] = k
+                    assigned += 1
+                    count += 1
+                    u, v = int(src[e]), int(dst[e])
+                    ext_deg[u] -= 1
+                    if v != u:
+                        ext_deg[v] -= 1
+                    y = v if x == u else u
+                    if y not in in_core:
+                        push(y)
+                    if count >= capacity:
+                        break
+        # Any stragglers (disconnected leftovers) go to the last part.
+        edge_parts[edge_parts < 0] = num_parts - 1
+        return PartitionResult(
+            graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT, method=self.name
+        )

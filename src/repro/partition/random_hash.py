@@ -1,0 +1,54 @@
+"""Random hash partitioners: the trivial baselines of both cut families.
+
+``RandomEdgeHashPartitioner`` hashes each edge (as a pair) to a part —
+the vertex-cut analogue of Giraph's default placement.  It is perfectly
+edge balanced but replicates aggressively.  ``RandomVertexHashPartitioner``
+hashes each vertex — the classic edge-cut default.  Neither appears in
+the paper's headline tables, but both are useful reference points for
+tests and ablations (every serious algorithm should beat them on
+replication factor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .base import EDGE_CUT, VERTEX_CUT, Partitioner, PartitionResult
+from .hashing import mix64
+
+__all__ = ["RandomEdgeHashPartitioner", "RandomVertexHashPartitioner"]
+
+
+class RandomEdgeHashPartitioner(Partitioner):
+    """1D vertex-cut: hash each edge independently of any structure."""
+
+    name = "RandomEdge"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Hash the (src, dst) pair of every edge to a part."""
+        key = mix64(graph.src, self.seed) ^ mix64(graph.dst, self.seed + 17)
+        parts = (key % np.uint64(num_parts)).astype(np.int64)
+        return PartitionResult(
+            graph, num_parts, edge_parts=parts, kind=VERTEX_CUT, method=self.name
+        )
+
+
+class RandomVertexHashPartitioner(Partitioner):
+    """1D edge-cut: hash each vertex to a part."""
+
+    name = "RandomVertex"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Hash every vertex id to a part."""
+        ids = np.arange(graph.num_vertices, dtype=np.int64)
+        parts = (mix64(ids, self.seed) % np.uint64(num_parts)).astype(np.int64)
+        return PartitionResult(
+            graph, num_parts, vertex_parts=parts, kind=EDGE_CUT, method=self.name
+        )

@@ -1,0 +1,241 @@
+"""Streaming and distributed EBV — the paper's stated future work.
+
+Section VII: "EBV is a sequential and offline partition algorithm.  We
+might need to extend it to the distributed and streaming environment to
+handle larger graphs."  This module provides both extensions:
+
+* :class:`StreamingEBVPartitioner` — a one-pass variant that never sees
+  the whole edge list.  Edges arrive in chunks; degrees are *estimated
+  online* from the prefix seen so far, each chunk is sorted by the
+  estimated degree sum (a windowed approximation of the offline sorting
+  preprocessing, in the spirit of ADWISE's bounded look-ahead), and the
+  EBV evaluation function assigns the chunk.  Exact |E| and |V| are not
+  known mid-stream, so the balance terms normalize by the *running*
+  counts instead — the same greedy score, computable online.
+
+* :class:`ShardedEBVPartitioner` — a simulated distributed EBV: ``k``
+  partitioner workers each own a shard of the edge stream and run EBV
+  against a private snapshot of the global state (``keep``/``ecount``/
+  ``vcount``), merging snapshots every ``sync_interval`` edges.  Larger
+  intervals mean staler state and a higher replication factor; the
+  ablation bench quantifies that staleness cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph import Graph
+from .base import VERTEX_CUT, Partitioner, PartitionResult
+
+__all__ = ["StreamingEBVPartitioner", "ShardedEBVPartitioner"]
+
+
+class StreamingEBVPartitioner(Partitioner):
+    """One-pass EBV over an edge stream with online degree estimation.
+
+    Parameters
+    ----------
+    chunk_size:
+        Number of edges buffered (the sorting window).  ``1`` degenerates
+        to fully-online EBV-unsort; larger windows recover more of the
+        offline sorting benefit.
+    alpha, beta:
+        The evaluation-function balance weights (Eq. 2).
+    """
+
+    name = "EBV-stream"
+
+    def __init__(self, chunk_size: int = 4096, alpha: float = 1.0, beta: float = 1.0):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if alpha <= 0 or beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+        self.chunk_size = int(chunk_size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Stream the edge list in input order, chunk by chunk."""
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        m = graph.num_edges
+        n = graph.num_vertices
+        edge_parts = np.full(m, -1, dtype=np.int64)
+        if num_parts == 1:
+            edge_parts[:] = 0
+            return PartitionResult(
+                graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT,
+                method=self.name,
+            )
+
+        seen_degree = np.zeros(n, dtype=np.int64)  # degrees observed so far
+        balance = np.zeros(num_parts, dtype=np.float64)
+        parts_of: List[List[int]] = [[] for _ in range(n)]
+        eva = np.empty(num_parts, dtype=np.float64)
+        edges_assigned = 0
+        vertices_covered = 0
+        src, dst = graph.src, graph.dst
+
+        for start in range(0, m, self.chunk_size):
+            chunk = np.arange(start, min(start + self.chunk_size, m))
+            # Update degree estimates with this chunk, then sort the
+            # chunk ascending by estimated end-vertex degree sum.
+            np.add.at(seen_degree, src[chunk], 1)
+            np.add.at(seen_degree, dst[chunk], 1)
+            key = seen_degree[src[chunk]] + seen_degree[dst[chunk]]
+            chunk = chunk[np.argsort(key, kind="stable")]
+
+            for e in chunk.tolist():
+                u, v = int(src[e]), int(dst[e])
+                pu, pv = parts_of[u], parts_of[v]
+                np.copyto(eva, balance)
+                eva += 2.0
+                if pu:
+                    eva[pu] -= 1.0
+                if pv:
+                    eva[pv] -= 1.0
+                i = int(np.argmin(eva))
+                edge_parts[e] = i
+                edges_assigned += 1
+                # Online normalization: running totals instead of |E|, |V|.
+                edge_unit = self.alpha / max(edges_assigned / num_parts, 1.0)
+                vertex_unit = self.beta / max(vertices_covered / num_parts, 1.0)
+                balance[i] += edge_unit
+                if i not in pu:
+                    pu.append(i)
+                    vertices_covered += 1
+                    balance[i] += vertex_unit
+                if u != v and i not in pv:
+                    pv.append(i)
+                    vertices_covered += 1
+                    balance[i] += vertex_unit
+        return PartitionResult(
+            graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT,
+            method=self.name,
+        )
+
+
+class ShardedEBVPartitioner(Partitioner):
+    """Distributed EBV simulation: sharded workers with periodic sync.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of parallel partitioner workers.
+    sync_interval:
+        Edges each worker assigns between global state merges.  Smaller
+        intervals track the sequential algorithm more closely (and cost
+        more coordination in a real deployment).
+    alpha, beta:
+        Evaluation-function weights.
+    sort_edges:
+        Apply the (global) sorting preprocessing before sharding; edges
+        are then dealt round-robin so every shard sees the same degree
+        profile.
+    """
+
+    name = "EBV-sharded"
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        sync_interval: int = 256,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        sort_edges: bool = True,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if sync_interval < 1:
+            raise ValueError("sync_interval must be >= 1")
+        self.num_shards = int(num_shards)
+        self.sync_interval = int(sync_interval)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.sort_edges = bool(sort_edges)
+
+    def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
+        """Run the sharded simulation; one epoch = sync_interval edges/shard."""
+        from .ebv import edge_processing_order
+
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        m = graph.num_edges
+        n = graph.num_vertices
+        edge_parts = np.full(m, -1, dtype=np.int64)
+        order = edge_processing_order(
+            graph, "ascending" if self.sort_edges else "input"
+        )
+        # Deal edges round-robin to shards (preserving the sorted order
+        # within each shard's queue).
+        shards = [order[s :: self.num_shards] for s in range(self.num_shards)]
+        positions = [0] * self.num_shards
+
+        # Committed global state (what every worker saw at the last sync).
+        committed_masks = [0] * n  # bitmask of parts holding each vertex
+        committed_ecount = np.zeros(num_parts, dtype=np.int64)
+        committed_vcount = np.zeros(num_parts, dtype=np.int64)
+        edge_unit = self.alpha / max(m / num_parts, 1e-12)
+        vertex_unit = self.beta / max(n / num_parts, 1e-12)
+        src, dst = graph.src, graph.dst
+        eva = np.empty(num_parts, dtype=np.float64)
+
+        while any(positions[s] < shards[s].shape[0] for s in range(self.num_shards)):
+            epoch_masks: List[dict] = []
+            epoch_ecount = np.zeros(num_parts, dtype=np.int64)
+            epoch_vcount = np.zeros(num_parts, dtype=np.int64)
+            for s in range(self.num_shards):
+                local_masks: dict = {}
+                local_ecount = committed_ecount.astype(np.float64).copy()
+                local_vcount = committed_vcount.astype(np.float64).copy()
+                queue = shards[s]
+                stop = min(positions[s] + self.sync_interval, queue.shape[0])
+                for e in queue[positions[s] : stop].tolist():
+                    u, v = int(src[e]), int(dst[e])
+                    mask_u = local_masks.get(u, committed_masks[u])
+                    mask_v = local_masks.get(v, committed_masks[v])
+                    np.copyto(eva, local_ecount)
+                    eva *= edge_unit
+                    eva += local_vcount * vertex_unit
+                    eva += 2.0
+                    for i in range(num_parts):
+                        bit = 1 << i
+                        if mask_u & bit:
+                            eva[i] -= 1.0
+                        if mask_v & bit:
+                            eva[i] -= 1.0
+                    i = int(np.argmin(eva))
+                    edge_parts[e] = i
+                    local_ecount[i] += 1
+                    bit = 1 << i
+                    if not mask_u & bit:
+                        local_masks[u] = mask_u | bit
+                        local_vcount[i] += 1
+                    if u != v:
+                        mask_v = local_masks.get(v, committed_masks[v])
+                        if not mask_v & bit:
+                            local_masks[v] = mask_v | bit
+                            local_vcount[i] += 1
+                positions[s] = stop
+                epoch_masks.append(local_masks)
+                epoch_ecount += (local_ecount - committed_ecount).astype(np.int64)
+                epoch_vcount += (local_vcount - committed_vcount).astype(np.int64)
+            # Synchronization barrier: merge every worker's deltas.
+            for local_masks in epoch_masks:
+                for vertex, mask in local_masks.items():
+                    committed_masks[vertex] |= mask
+            committed_ecount += epoch_ecount
+            # vcount must be recounted from the merged masks: two workers
+            # may both have replicated the same vertex into a part.
+            committed_vcount = np.zeros(num_parts, dtype=np.int64)
+            for mask in committed_masks:
+                while mask:
+                    committed_vcount[(mask & -mask).bit_length() - 1] += 1
+                    mask &= mask - 1
+        return PartitionResult(
+            graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT,
+            method=self.name,
+        )

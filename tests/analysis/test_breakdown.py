@@ -1,0 +1,61 @@
+"""Unit tests for breakdown rows and the Figure 4 timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import breakdown_row, render_breakdown_table, render_timeline
+from repro.apps import ConnectedComponents
+from repro.bsp import BSPEngine, BSPRun, SuperstepStats, build_distributed_graph
+from repro.partition import EBVPartitioner
+
+
+@pytest.fixture
+def sample_run(small_powerlaw):
+    dg = build_distributed_graph(EBVPartitioner().partition(small_powerlaw, 4))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    run.partition_method = "EBV"
+    return run
+
+
+def test_breakdown_row_fields(sample_run):
+    row = breakdown_row(sample_run)
+    assert row.method == "EBV"
+    assert row.comp == pytest.approx(sample_run.comp)
+    assert row.comm == pytest.approx(sample_run.comm)
+    assert row.delta_c == pytest.approx(sample_run.delta_c)
+    assert row.execution_time == pytest.approx(sample_run.execution_time)
+
+
+def test_breakdown_invariants(sample_run):
+    row = breakdown_row(sample_run)
+    # Average busy time can never exceed the barrier-paced wall time;
+    # wall time can never exceed busy + accumulated spread.
+    assert row.comp + row.comm <= row.execution_time + 1e-12
+    assert row.execution_time <= row.comp + row.comm + row.delta_c + 1e-12
+
+
+def test_render_breakdown_table(sample_run):
+    text = render_breakdown_table([breakdown_row(sample_run)], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "EBV" in text
+
+
+def test_render_timeline_structure(sample_run):
+    text = render_timeline(sample_run, width=40)
+    lines = text.splitlines()
+    assert len(lines) == 1 + sample_run.num_workers
+    for lane in lines[1:]:
+        assert lane.rstrip().endswith("|")
+
+
+def test_render_timeline_empty_run():
+    run = BSPRun(program="CC", partition_method="X", graph_name="g", num_workers=2)
+    assert "empty" in render_timeline(run)
+
+
+def test_timeline_glyph_budget(sample_run):
+    # Each worker lane is capped at the requested width.
+    text = render_timeline(sample_run, width=30)
+    for lane in text.splitlines()[1:]:
+        body = lane.split(": ", 1)[1].rstrip("|")
+        assert len(body) <= 31

@@ -1,0 +1,90 @@
+"""Unit tests for the static communication analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    per_worker_sync_messages,
+    quotient_graph,
+    replica_sync_volume,
+)
+from repro.apps import PageRank
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.graph import Graph
+from repro.partition import (
+    DBHPartitioner,
+    EBVPartitioner,
+    NEPartitioner,
+    PartitionResult,
+    replication_factor,
+)
+
+
+@pytest.fixture
+def square_partition():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+    return PartitionResult(g, 2, edge_parts=np.array([0, 0, 1, 1]))
+
+
+class TestSyncVolume:
+    def test_hand_computed(self, square_partition):
+        # Vertices 0 and 2 have 2 replicas each: 2 * (2-1) * 2 = 4.
+        assert replica_sync_volume(square_partition) == 4
+
+    def test_zero_without_replication(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], num_vertices=4)
+        r = PartitionResult(g, 2, edge_parts=np.array([0, 1]))
+        assert replica_sync_volume(r) == 0
+
+    def test_tracks_replication_factor(self, small_powerlaw):
+        ebv = EBVPartitioner().partition(small_powerlaw, 8)
+        dbh = DBHPartitioner().partition(small_powerlaw, 8)
+        assert replication_factor(ebv) < replication_factor(dbh)
+        assert replica_sync_volume(ebv) < replica_sync_volume(dbh)
+
+    def test_matches_pagerank_superstep_messages(self, small_powerlaw):
+        """A PR superstep sends at most one full sync's worth of messages."""
+        result = EBVPartitioner().partition(small_powerlaw, 4)
+        run = BSPEngine().run(
+            build_distributed_graph(result),
+            PageRank(small_powerlaw.num_vertices, max_iters=3, tol=0.0),
+        )
+        bound = replica_sync_volume(result)
+        for s in run.supersteps:
+            assert int(s.sent.sum()) <= bound
+
+
+class TestPerWorkerMessages:
+    def test_sums_to_volume(self, square_partition):
+        per_worker = per_worker_sync_messages(square_partition)
+        assert int(per_worker.sum()) == replica_sync_volume(square_partition)
+
+    def test_ne_more_skewed_than_ebv(self, small_powerlaw):
+        ebv = per_worker_sync_messages(EBVPartitioner().partition(small_powerlaw, 8))
+        ne = per_worker_sync_messages(NEPartitioner().partition(small_powerlaw, 8))
+
+        def max_mean(x):
+            return x.max() / max(x.mean(), 1e-9)
+
+        assert max_mean(ne) > max_mean(ebv)
+
+
+class TestQuotientGraph:
+    def test_hand_computed(self, square_partition):
+        q = quotient_graph(square_partition)
+        assert q.shape == (2, 2)
+        assert q[0, 1] == 2 and q[1, 0] == 2  # vertices 0 and 2 shared
+        assert q[0, 0] == 0 and q[1, 1] == 0
+
+    def test_symmetric(self, small_powerlaw):
+        q = quotient_graph(DBHPartitioner().partition(small_powerlaw, 8))
+        assert np.array_equal(q, q.T)
+        assert np.all(np.diag(q) == 0)
+
+    def test_total_pairs_consistent(self, small_powerlaw):
+        result = EBVPartitioner().partition(small_powerlaw, 4)
+        q = quotient_graph(result)
+        expected = sum(
+            len(parts) * (len(parts) - 1) // 2 for parts in result.replica_map()
+        )
+        assert int(q.sum()) // 2 == expected

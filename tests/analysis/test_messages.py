@@ -1,0 +1,55 @@
+"""Unit tests for the message statistics used by Tables IV and V."""
+
+import pytest
+
+from repro.analysis import (
+    message_stats,
+    render_max_mean_table,
+    render_message_table,
+)
+from repro.apps import ConnectedComponents
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.partition import DBHPartitioner, partition_metrics
+
+
+@pytest.fixture
+def run_and_metrics(small_powerlaw):
+    result = DBHPartitioner().partition(small_powerlaw, 4)
+    run = BSPEngine().run(build_distributed_graph(result), ConnectedComponents())
+    run.partition_method = "DBH"
+    return run, partition_metrics(result)
+
+
+def test_stats_extraction(run_and_metrics):
+    run, metrics = run_and_metrics
+    s = message_stats(run, replication_factor=metrics.replication)
+    assert s.method == "DBH"
+    assert s.total_messages == run.total_messages
+    assert s.max_mean_ratio == pytest.approx(run.message_max_mean_ratio)
+    assert s.replication_factor == metrics.replication
+
+
+def test_render_message_table(run_and_metrics):
+    run, metrics = run_and_metrics
+    s = message_stats(run, replication_factor=metrics.replication)
+    text = render_message_table([s], title="Table IV")
+    assert "Table IV" in text
+    assert f"({metrics.replication:.2f})" in text
+
+
+def test_render_message_table_without_rf(run_and_metrics):
+    run, _ = run_and_metrics
+    text = render_message_table([message_stats(run)])
+    assert "(" not in text.splitlines()[-1]
+
+
+def test_render_max_mean_table(run_and_metrics):
+    run, metrics = run_and_metrics
+    s = message_stats(
+        run,
+        edge_imbalance=metrics.edge_imbalance,
+        vertex_imbalance=metrics.vertex_imbalance,
+    )
+    text = render_max_mean_table([s], title="Table V")
+    assert "Table V" in text
+    assert "/" in text.splitlines()[-1]

@@ -1,0 +1,53 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_curve, ascii_multi_curve
+
+
+class TestAsciiCurve:
+    def test_shape(self):
+        text = ascii_curve([0, 1, 2], [1, 2, 3], width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) >= 6  # 5 rows + separator + axis line
+        assert all(len(l) <= 20 for l in lines[:5])
+
+    def test_monotone_series_fills_corners(self):
+        text = ascii_curve([0, 10], [0, 10], width=20, height=5)
+        rows = text.splitlines()[:5]
+        assert rows[-1][0] == "*"  # low-left
+        assert rows[0][-1] == "*"  # top-right
+
+    def test_flat_series_single_row(self):
+        text = ascii_curve([0, 1], [5, 5], width=10, height=4)
+        rows = text.splitlines()[:4]
+        star_rows = [i for i, r in enumerate(rows) if "*" in r]
+        assert len(star_rows) == 1
+
+
+class TestMultiCurve:
+    def test_legend_and_glyphs(self):
+        text = ascii_multi_curve(
+            {"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}, width=16, height=6
+        )
+        assert "*=a" in text and "o=b" in text
+        assert "*" in text and "o" in text
+
+    def test_log_scale(self):
+        text = ascii_multi_curve(
+            {"t": ([1, 2, 3], [1, 100, 10000])}, logy=True, width=16, height=6
+        )
+        assert "log10(y)" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_curve({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_curve({"x": ([1, 2], [1])})
+
+    def test_numpy_inputs(self):
+        text = ascii_curve(np.arange(5), np.arange(5) ** 2)
+        assert "*" in text

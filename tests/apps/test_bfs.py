@@ -1,0 +1,46 @@
+"""BFS (extension app) validated against the hop-count reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFS, bfs_reference, default_source
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.graph import Graph
+from repro.partition import DBHPartitioner, EBVPartitioner
+
+
+def test_bfs_matches_reference(small_powerlaw):
+    src = default_source(small_powerlaw)
+    ref = bfs_reference(small_powerlaw, src)
+    dg = build_distributed_graph(EBVPartitioner().partition(small_powerlaw, 4))
+    run = BSPEngine().run(dg, BFS(src))
+    assert np.allclose(run.values, ref)
+
+
+def test_bfs_ignores_weights(small_road):
+    # The road graph has non-unit weights; BFS must count hops instead.
+    src = default_source(small_road)
+    ref = bfs_reference(small_road, src)
+    dg = build_distributed_graph(DBHPartitioner().partition(small_road, 4))
+    run = BSPEngine().run(dg, BFS(src))
+    assert np.allclose(run.values, ref)
+
+
+def test_bfs_levels_on_path(path_graph):
+    dg = build_distributed_graph(EBVPartitioner().partition(path_graph, 2))
+    run = BSPEngine().run(dg, BFS(0))
+    assert run.values.tolist() == list(range(10))
+
+
+def test_bfs_vertex_centric_mode(path_graph):
+    dg = build_distributed_graph(EBVPartitioner().partition(path_graph, 2))
+    run = BSPEngine(max_supersteps=1000).run(dg, BFS(0, local_convergence=False))
+    assert run.values.tolist() == list(range(10))
+
+
+def test_bfs_unreachable():
+    g = Graph.from_edges([(0, 1), (2, 3)], num_vertices=4)
+    dg = build_distributed_graph(EBVPartitioner().partition(g, 2))
+    run = BSPEngine().run(dg, BFS(0))
+    assert run.values[1] == 1.0
+    assert np.isinf(run.values[2]) and np.isinf(run.values[3])

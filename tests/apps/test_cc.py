@@ -1,0 +1,92 @@
+"""CC validated against the sequential reference on every partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ConnectedComponents, cc_reference
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.graph import Graph
+from repro.partition import (
+    CVCPartitioner,
+    DBHPartitioner,
+    EBVPartitioner,
+    GingerPartitioner,
+    MetisLikePartitioner,
+    NEPartitioner,
+)
+
+ALL = [
+    EBVPartitioner,
+    GingerPartitioner,
+    DBHPartitioner,
+    CVCPartitioner,
+    NEPartitioner,
+    MetisLikePartitioner,
+]
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_cc_matches_reference_powerlaw(cls, small_powerlaw):
+    ref = cc_reference(small_powerlaw)
+    dg = build_distributed_graph(cls().partition(small_powerlaw, 4))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    assert np.array_equal(run.values, ref)
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_cc_matches_reference_road(cls, small_road):
+    ref = cc_reference(small_road)
+    dg = build_distributed_graph(cls().partition(small_road, 6))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    assert np.array_equal(run.values, ref)
+
+
+def test_cc_vertex_centric_mode(small_powerlaw):
+    ref = cc_reference(small_powerlaw)
+    dg = build_distributed_graph(EBVPartitioner().partition(small_powerlaw, 4))
+    run = BSPEngine(max_supersteps=5000).run(
+        dg, ConnectedComponents(local_convergence=False)
+    )
+    assert np.array_equal(run.values, ref)
+
+
+def test_vertex_centric_needs_more_supersteps(small_road):
+    dg = build_distributed_graph(EBVPartitioner().partition(small_road, 4))
+    sub = BSPEngine(max_supersteps=5000).run(dg, ConnectedComponents())
+    vc = BSPEngine(max_supersteps=5000).run(
+        dg, ConnectedComponents(local_convergence=False)
+    )
+    assert vc.num_supersteps > sub.num_supersteps
+
+
+def test_cc_two_components(two_triangles):
+    dg = build_distributed_graph(EBVPartitioner().partition(two_triangles, 2))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    assert run.values.tolist() == [0, 0, 0, 3, 3, 3]
+
+
+def test_cc_isolated_vertices():
+    g = Graph.from_edges([(0, 1)], num_vertices=5)
+    dg = build_distributed_graph(EBVPartitioner().partition(g, 2))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    assert run.values.tolist() == [0, 0, 2, 3, 4]
+
+
+def test_cc_directed_uses_weak_connectivity(path_graph):
+    dg = build_distributed_graph(EBVPartitioner().partition(path_graph, 3))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    assert np.all(run.values == 0)
+
+
+def test_cc_work_is_incremental_after_first_superstep(small_powerlaw):
+    dg = build_distributed_graph(EBVPartitioner().partition(small_powerlaw, 4))
+    run = BSPEngine().run(dg, ConnectedComponents())
+    if run.num_supersteps > 1:
+        first = float(run.supersteps[0].work.sum())
+        later = float(run.supersteps[1].work.sum())
+        assert later < first
+
+
+def test_cc_reference_itself(two_triangles):
+    labels = cc_reference(two_triangles)
+    assert labels.tolist() == [0, 0, 0, 3, 3, 3]

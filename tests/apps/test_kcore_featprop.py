@@ -1,0 +1,108 @@
+"""Unit tests for the extension apps: k-core and GNN feature propagation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FeaturePropagation,
+    KCore,
+    feature_propagation_reference,
+    kcore_reference,
+)
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.graph import Graph, powerlaw_graph
+from repro.partition import DBHPartitioner, EBVPartitioner, MetisLikePartitioner
+
+
+class TestKCoreReference:
+    def test_triangle_is_2core(self, two_triangles):
+        # Doubled representation: each triangle vertex has degree 4.
+        alive = kcore_reference(two_triangles, 4)
+        assert alive.tolist() == [1.0] * 6
+        dead = kcore_reference(two_triangles, 5)
+        assert dead.tolist() == [0.0] * 6
+
+    def test_path_has_no_2core(self, path_graph):
+        # Directed path: interior degree 2, cascading removal kills all.
+        assert kcore_reference(path_graph, 2).sum() == 0
+
+    def test_isolated_die_at_k1(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], num_vertices=3)
+        alive = kcore_reference(g, 1)
+        assert alive.tolist() == [1.0, 1.0, 0.0]
+
+
+class TestKCoreDistributed:
+    @pytest.mark.parametrize("cls", [EBVPartitioner, DBHPartitioner, MetisLikePartitioner])
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_matches_reference(self, cls, k, small_powerlaw):
+        ref = kcore_reference(small_powerlaw, k)
+        dg = build_distributed_graph(cls().partition(small_powerlaw, 4))
+        run = BSPEngine().run(dg, KCore(k))
+        assert np.array_equal(run.values, ref), (cls.__name__, k)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KCore(0)
+
+    def test_k1_keeps_non_isolated(self, tiny_graph):
+        dg = build_distributed_graph(EBVPartitioner().partition(tiny_graph, 2))
+        run = BSPEngine().run(dg, KCore(1))
+        # Vertices 0-4 have edges; vertex 5 is isolated and dies at k=1.
+        assert run.values.tolist() == [1.0, 1.0, 1.0, 1.0, 1.0, 0.0]
+        assert np.array_equal(run.values, kcore_reference(tiny_graph, 1))
+
+
+class TestFeaturePropagation:
+    def _features(self, n, d=3, seed=0):
+        return np.random.default_rng(seed).normal(size=(n, d))
+
+    @pytest.mark.parametrize("cls", [EBVPartitioner, DBHPartitioner, MetisLikePartitioner])
+    def test_matches_reference(self, cls, small_powerlaw):
+        g = small_powerlaw
+        x = self._features(g.num_vertices)
+        ref = feature_propagation_reference(g, x, hops=3, mix=0.5)
+        dg = build_distributed_graph(cls().partition(g, 4))
+        run = BSPEngine().run(dg, FeaturePropagation(x, hops=3, mix=0.5))
+        assert np.allclose(run.values, ref, atol=1e-10)
+
+    def test_hops_equal_supersteps(self, small_powerlaw):
+        g = small_powerlaw
+        x = self._features(g.num_vertices)
+        dg = build_distributed_graph(EBVPartitioner().partition(g, 4))
+        run = BSPEngine().run(dg, FeaturePropagation(x, hops=4))
+        assert run.num_supersteps == 4
+
+    def test_pure_mean_on_regular_cycle(self):
+        # Symmetric cycle with mix=1: features converge toward the
+        # neighbor average; a constant vector is a fixed point.
+        n = 6
+        g = Graph.from_undirected_edges(
+            [(i, (i + 1) % n) for i in range(n)], num_vertices=n
+        )
+        x = np.ones((n, 2)) * 7.0
+        dg = build_distributed_graph(EBVPartitioner().partition(g, 2))
+        run = BSPEngine().run(dg, FeaturePropagation(x, hops=3, mix=1.0))
+        assert np.allclose(run.values, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeaturePropagation(np.zeros(5), hops=1)  # 1-D features
+        with pytest.raises(ValueError):
+            FeaturePropagation(np.zeros((5, 2)), hops=0)
+        with pytest.raises(ValueError):
+            FeaturePropagation(np.zeros((5, 2)), mix=0.0)
+
+    def test_messages_scale_with_replication(self):
+        g = powerlaw_graph(800, eta=2.0, min_degree=3, seed=8)
+        x = self._features(g.num_vertices, d=4, seed=1)
+        runs = {}
+        for cls in (EBVPartitioner, DBHPartitioner):
+            dg = build_distributed_graph(cls().partition(g, 8))
+            runs[cls.__name__] = BSPEngine().run(dg, FeaturePropagation(x, hops=3))
+        # EBV's lower replication factor translates into fewer GNN
+        # aggregation messages — the paper's proposed GNN application.
+        assert (
+            runs["EBVPartitioner"].total_messages
+            < runs["DBHPartitioner"].total_messages
+        )

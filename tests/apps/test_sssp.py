@@ -1,0 +1,105 @@
+"""SSSP validated against Dijkstra on every partitioner, both modes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SSSP, default_source, sssp_reference
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.graph import Graph
+from repro.partition import (
+    CVCPartitioner,
+    DBHPartitioner,
+    EBVPartitioner,
+    GingerPartitioner,
+    MetisLikePartitioner,
+    NEPartitioner,
+)
+
+ALL = [
+    EBVPartitioner,
+    GingerPartitioner,
+    DBHPartitioner,
+    CVCPartitioner,
+    NEPartitioner,
+    MetisLikePartitioner,
+]
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_sssp_weighted_road(cls, small_road):
+    src = default_source(small_road)
+    ref = sssp_reference(small_road, src)
+    dg = build_distributed_graph(cls().partition(small_road, 4))
+    run = BSPEngine().run(dg, SSSP(src))
+    assert np.allclose(run.values, ref)
+
+
+@pytest.mark.parametrize("cls", [EBVPartitioner, DBHPartitioner, MetisLikePartitioner])
+def test_sssp_unit_weights_powerlaw(cls, small_powerlaw):
+    src = default_source(small_powerlaw)
+    ref = sssp_reference(small_powerlaw.with_unit_weights(), src)
+    dg = build_distributed_graph(cls().partition(small_powerlaw, 4))
+    run = BSPEngine().run(dg, SSSP(src))
+    assert np.allclose(run.values, ref)
+
+
+def test_sssp_vertex_centric_mode(small_road):
+    src = default_source(small_road)
+    ref = sssp_reference(small_road, src)
+    dg = build_distributed_graph(EBVPartitioner().partition(small_road, 4))
+    run = BSPEngine(max_supersteps=20000).run(
+        dg, SSSP(src, local_convergence=False)
+    )
+    assert np.allclose(run.values, ref)
+
+
+def test_sssp_unreachable_is_inf(path_graph):
+    # Directed path: nothing reaches vertex 0 except itself.
+    dg = build_distributed_graph(EBVPartitioner().partition(path_graph, 2))
+    run = BSPEngine().run(dg, SSSP(5))
+    assert run.values[5] == 0.0
+    assert np.isinf(run.values[0])
+    assert run.values[9] == pytest.approx(4.0)
+
+
+def test_sssp_respects_direction():
+    g = Graph.from_edges([(0, 1), (2, 1)], num_vertices=3)
+    dg = build_distributed_graph(EBVPartitioner().partition(g, 2))
+    run = BSPEngine().run(dg, SSSP(0))
+    assert run.values[1] == pytest.approx(1.0)
+    assert np.isinf(run.values[2])
+
+
+def test_sssp_weighted_respects_weights():
+    g = Graph(3, [0, 0, 1], [1, 2, 2], weights=[5.0, 1.0, 1.0])
+    dg = build_distributed_graph(EBVPartitioner().partition(g, 1))
+    run = BSPEngine().run(dg, SSSP(0))
+    assert run.values.tolist() == [0.0, 5.0, 1.0]
+
+
+def test_default_source_is_max_degree(small_powerlaw):
+    src = default_source(small_powerlaw)
+    deg = small_powerlaw.degrees()
+    assert deg[src] == deg.max()
+
+
+def test_sssp_source_only_active_initially(small_road):
+    src = default_source(small_road)
+    dg = build_distributed_graph(EBVPartitioner().partition(small_road, 4))
+    prog = SSSP(src)
+    for local in dg.locals:
+        active = prog.initial_active(local)
+        hosted = (local.global_ids == src)
+        assert np.array_equal(active, hosted)
+
+
+def test_sssp_reference_against_networkx(small_road):
+    networkx = pytest.importorskip("networkx")
+    G = networkx.DiGraph()
+    for (u, v), w in zip(small_road.edges(), small_road.weights):
+        G.add_edge(u, v, weight=w)
+    src = default_source(small_road)
+    nx_dist = networkx.single_source_dijkstra_path_length(G, src)
+    ref = sssp_reference(small_road, src)
+    for v, d in nx_dist.items():
+        assert ref[v] == pytest.approx(d)

@@ -1,0 +1,97 @@
+"""Hand-verifiable tests of the engine's accumulate (sum-combine) path."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank
+from repro.bsp import (
+    ACCUMULATE,
+    BSPEngine,
+    ComputeResult,
+    SubgraphProgram,
+    build_distributed_graph,
+)
+from repro.graph import Graph
+from repro.partition import PartitionResult
+
+
+class SumInDegrees(SubgraphProgram):
+    """Trivial accumulate program: value = global in-degree after 1 step."""
+
+    mode = ACCUMULATE
+    name = "SumIn"
+
+    def initial_values(self, local):
+        return np.zeros(local.num_vertices)
+
+    def compute(self, local, values, active):
+        partials = np.zeros(local.num_vertices)
+        if local.dst.size:
+            np.add.at(partials, local.dst, 1.0)
+        return ComputeResult(
+            changed=partials > 0, work_units=float(local.num_edges),
+            partials=partials,
+        )
+
+    def apply(self, local, values, sums):
+        return sums
+
+    def has_converged(self, superstep, global_delta):
+        return True  # single superstep
+
+
+def split_star():
+    """Star into vertex 0 from 1..4, edges split across two workers."""
+    g = Graph.from_edges([(1, 0), (2, 0), (3, 0), (4, 0)], num_vertices=5)
+    r = PartitionResult(g, 2, edge_parts=np.array([0, 0, 1, 1]))
+    return g, build_distributed_graph(r)
+
+
+class TestAccumulateSemantics:
+    def test_partials_summed_across_replicas(self):
+        g, dg = split_star()
+        run = BSPEngine().run(dg, SumInDegrees())
+        # Vertex 0's global in-degree is 4 even though each worker only
+        # sees 2 of its in-edges.
+        assert run.values[0] == pytest.approx(4.0)
+        assert run.values[1:].tolist() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_mirror_messages_counted(self):
+        g, dg = split_star()
+        run = BSPEngine().run(dg, SumInDegrees())
+        s = run.supersteps[0]
+        # Vertex 0 has one mirror: 1 upward partial push + 1 broadcast.
+        assert int(s.sent.sum()) == 2
+        assert int(s.received.sum()) == 2
+
+    def test_broadcast_keeps_replicas_consistent(self):
+        # After PageRank, every replica of a vertex holds the master's
+        # value — verified through the gather being master-only anyway,
+        # so instead check determinism across partitionings.
+        g = Graph.from_undirected_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], num_vertices=4
+        )
+        runs = []
+        for parts in ([0, 0, 0, 1, 1, 1, 0, 1, 1, 0], [1, 0, 1, 0, 1, 0, 1, 0, 1, 0]):
+            r = PartitionResult(g, 2, edge_parts=np.array(parts))
+            run = BSPEngine().run(
+                build_distributed_graph(r), PageRank(4, max_iters=10)
+            )
+            runs.append(run.values)
+        assert np.allclose(runs[0], runs[1], atol=1e-12)
+
+    def test_vector_values_roundtrip(self):
+        """2-D (feature-matrix) values flow through routes and gather."""
+        from repro.apps import FeaturePropagation
+
+        g = Graph.from_edges([(1, 0), (2, 0), (0, 3)], num_vertices=4)
+        r = PartitionResult(g, 2, edge_parts=np.array([0, 1, 1]))
+        x = np.arange(8, dtype=float).reshape(4, 2)
+        run = BSPEngine().run(
+            build_distributed_graph(r), FeaturePropagation(x, hops=1, mix=1.0)
+        )
+        outdeg = np.array([1, 1, 1, 0], dtype=float)
+        expected = np.zeros((4, 2))
+        expected[0] = x[1] / 1 + x[2] / 1
+        expected[3] = x[0] / 1
+        assert np.allclose(run.values, expected)

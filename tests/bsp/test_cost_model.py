@@ -1,0 +1,31 @@
+"""Unit tests for the cost model arithmetic."""
+
+import pytest
+
+from repro.bsp import CostModel
+
+
+class TestCostModel:
+    def test_defaults_sane(self):
+        cm = CostModel()
+        assert cm.seconds_per_work_unit > 0
+        assert cm.seconds_per_message > 0
+        assert cm.superstep_overhead > 0
+        # Work units cost more than individual messages (edges dominate).
+        assert cm.seconds_per_work_unit > cm.seconds_per_message
+
+    def test_comp_seconds(self):
+        cm = CostModel(seconds_per_work_unit=2.0)
+        assert cm.comp_seconds(5) == pytest.approx(10.0)
+
+    def test_comm_seconds(self):
+        cm = CostModel(seconds_per_message=0.5)
+        assert cm.comm_seconds(sent=3, received=4) == pytest.approx(3.5)
+
+    def test_frozen(self):
+        cm = CostModel()
+        with pytest.raises(Exception):
+            cm.seconds_per_message = 1.0
+
+    def test_zero_work(self):
+        assert CostModel().comp_seconds(0) == 0.0

@@ -1,0 +1,153 @@
+"""Unit tests for the BSP engine: semantics, message counting, termination."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.partition import PartitionResult
+from repro.bsp import (
+    BSPEngine,
+    CostModel,
+    MINIMIZE,
+    ComputeResult,
+    SubgraphProgram,
+    build_distributed_graph,
+)
+from repro.apps import ConnectedComponents
+
+
+def two_worker_path():
+    """Path 0-1-2-3 split at the middle: worker 0 gets (0,1),(1,2)."""
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+    r = PartitionResult(g, 2, edge_parts=np.array([0, 0, 1]), method="manual")
+    return g, build_distributed_graph(r)
+
+
+class TestMinimizeSemantics:
+    def test_cc_on_split_path(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        assert run.values.tolist() == [0, 0, 0, 0]
+
+    def test_supersteps_counted(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        # Superstep 1: local convergence + sync of vertex 2.
+        # Superstep 2: worker 1 adopts label 0; no further changes.
+        assert 2 <= run.num_supersteps <= 3
+
+    def test_message_counts_exact(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        # Vertex 2 is replicated; its master lands on worker 0 (which
+        # holds 2 of its edges).  Superstep 1: worker 0 locally resolves
+        # {0,1,2} to label 0 (master copy of 2 changes); worker 1
+        # resolves {2,3} to label 2 (its mirror of 2 does NOT improve,
+        # so no upward push).  The dirty master broadcasts once.
+        # Superstep 2: worker 1 adopts 0 for vertex 3 locally; vertex 3
+        # is unreplicated, so nothing else is sent.
+        assert run.total_messages == 1
+
+    def test_quiescence_termination(self):
+        # A graph with no edges terminates immediately after one sweep.
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        r = PartitionResult(g, 1, edge_parts=np.array([0]))
+        run = BSPEngine().run(build_distributed_graph(r), ConnectedComponents())
+        assert run.num_supersteps <= 2
+        assert run.total_messages == 0
+
+    def test_max_supersteps_cap(self):
+        g, dg = two_worker_path()
+        run = BSPEngine(max_supersteps=1).run(dg, ConnectedComponents())
+        assert run.num_supersteps == 1
+
+    def test_unknown_mode_rejected(self):
+        class Bad(SubgraphProgram):
+            mode = "bogus"
+
+            def initial_values(self, local):
+                return np.zeros(local.num_vertices)
+
+            def compute(self, local, values, active):
+                raise AssertionError
+
+        g, dg = two_worker_path()
+        with pytest.raises(ValueError):
+            BSPEngine().run(dg, Bad())
+
+
+class TestCostAccounting:
+    def test_comp_uses_cost_model(self):
+        g, dg = two_worker_path()
+        cm = CostModel(seconds_per_work_unit=1.0, seconds_per_message=0.0,
+                       superstep_overhead=0.0)
+        run = BSPEngine(cost_model=cm).run(dg, ConnectedComponents())
+        total_work = sum(float(s.work.sum()) for s in run.supersteps)
+        assert run.comp * dg.num_workers == pytest.approx(total_work)
+
+    def test_comm_uses_cost_model(self):
+        g, dg = two_worker_path()
+        cm = CostModel(seconds_per_work_unit=0.0, seconds_per_message=1.0,
+                       superstep_overhead=0.0)
+        run = BSPEngine(cost_model=cm).run(dg, ConnectedComponents())
+        sent = sum(int(s.sent.sum()) for s in run.supersteps)
+        received = sum(int(s.received.sum()) for s in run.supersteps)
+        assert run.comm * dg.num_workers == pytest.approx(sent + received)
+
+    def test_execution_time_is_sum_of_wall(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        assert run.execution_time == pytest.approx(
+            sum(s.wall_seconds for s in run.supersteps)
+        )
+
+    def test_delta_c_definition(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        for s in run.supersteps:
+            busy = s.comp_seconds + s.comm_seconds
+            assert s.delta_c == pytest.approx(busy.max() - busy.min())
+
+    def test_sent_received_balance(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        for s in run.supersteps:
+            assert s.sent.sum() == s.received.sum()
+
+
+class TestRunAggregates:
+    def test_messages_per_worker_sums_to_total(self, small_powerlaw):
+        from repro.partition import EBVPartitioner
+
+        dg = build_distributed_graph(EBVPartitioner().partition(small_powerlaw, 4))
+        run = BSPEngine().run(dg, ConnectedComponents())
+        assert run.messages_per_worker().sum() == run.total_messages
+
+    def test_max_mean_ratio_at_least_one(self, small_powerlaw):
+        from repro.partition import DBHPartitioner
+
+        dg = build_distributed_graph(DBHPartitioner().partition(small_powerlaw, 4))
+        run = BSPEngine().run(dg, ConnectedComponents())
+        assert run.message_max_mean_ratio >= 1.0
+
+    def test_max_mean_ratio_no_messages(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        r = PartitionResult(g, 1, edge_parts=np.array([0]))
+        run = BSPEngine().run(build_distributed_graph(r), ConnectedComponents())
+        assert run.message_max_mean_ratio == 1.0
+
+    def test_worker_timeline_shape(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        timeline = run.worker_timeline()
+        assert len(timeline) == 2
+        assert all(len(lane) == run.num_supersteps for lane in timeline)
+        # comp + comm + sync == wall for every worker and superstep.
+        for k, s in enumerate(run.supersteps):
+            for lane in timeline:
+                assert sum(lane[k]) == pytest.approx(s.wall_seconds)
+
+    def test_values_gathered(self):
+        g, dg = two_worker_path()
+        run = BSPEngine().run(dg, ConnectedComponents())
+        assert run.values.shape == (4,)

@@ -1,0 +1,77 @@
+"""Cost-profile semantics of the comparator frameworks."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import CostModel
+from repro.frameworks import (
+    BlogelFramework,
+    SubgraphCentricFramework,
+    VertexCentricFramework,
+)
+from repro.partition import EBVPartitioner
+
+
+class TestVertexCentricCosts:
+    def test_speedup_discounts_work_not_messages(self):
+        fw = VertexCentricFramework(speedup=4.0, cost_model=CostModel())
+        base = CostModel()
+        cm = fw.engine.cost_model
+        assert cm.seconds_per_work_unit == pytest.approx(
+            base.seconds_per_work_unit / 4
+        )
+        assert cm.superstep_overhead == pytest.approx(base.superstep_overhead / 4)
+        # Network messages cost the same for every distributed system.
+        assert cm.seconds_per_message == base.seconds_per_message
+
+    def test_larger_speedup_faster(self, small_powerlaw):
+        slow = VertexCentricFramework(speedup=1.0)
+        fast = VertexCentricFramework(speedup=8.0)
+        t_slow = slow.run(small_powerlaw, "CC", 4).execution_time
+        t_fast = fast.run(small_powerlaw, "CC", 4).execution_time
+        assert t_fast < t_slow
+
+    def test_dgraph_cache(self, small_powerlaw):
+        fw = VertexCentricFramework()
+        fw.run(small_powerlaw, "CC", 4)
+        key = (id(small_powerlaw), 4)
+        assert key in fw._dgraph_cache
+
+
+class TestSubgraphCentricCosts:
+    def test_custom_cost_model_applied(self, small_powerlaw):
+        cheap = SubgraphCentricFramework(
+            EBVPartitioner(),
+            cost_model=CostModel(1e-9, 1e-10, 1e-9),
+        )
+        expensive = SubgraphCentricFramework(
+            EBVPartitioner(),
+            cost_model=CostModel(1e-3, 1e-4, 1e-3),
+        )
+        t_cheap = cheap.run(small_powerlaw, "CC", 4).execution_time
+        t_expensive = expensive.run(small_powerlaw, "CC", 4).execution_time
+        assert t_cheap < t_expensive
+
+    def test_pagerank_iteration_budget(self, small_powerlaw):
+        fw = SubgraphCentricFramework(EBVPartitioner(), pagerank_iters=6)
+        run = fw.run(small_powerlaw, "PR", 4)
+        assert run.num_supersteps <= 6
+
+
+class TestBlogelCosts:
+    def test_cc_slower_than_sssp_overhead_free_comparison(self, small_powerlaw):
+        fw = BlogelFramework()
+        cc = fw.run(small_powerlaw, "CC", 4)
+        # The injected pre-compute superstep has zero communication.
+        pre = cc.supersteps[0]
+        assert int(pre.sent.sum()) == 0
+        assert float(pre.comp_seconds.min()) > 0
+
+    def test_precompute_scales_with_graph(self, small_powerlaw, small_road):
+        fw = BlogelFramework()
+        cc_pl = fw.run(small_powerlaw, "CC", 4)
+        cc_rd = fw.run(small_road, "CC", 4)
+        work_pl = float(cc_pl.supersteps[0].work.sum())
+        work_rd = float(cc_rd.supersteps[0].work.sum())
+        assert work_pl == pytest.approx(small_powerlaw.num_edges)
+        assert work_rd == pytest.approx(small_road.num_edges)

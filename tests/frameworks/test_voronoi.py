@@ -1,0 +1,56 @@
+"""Unit tests for Blogel's Graph Voronoi Diagram partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import VoronoiPartitioner
+from repro.graph import Graph
+from repro.partition import EDGE_CUT, vertex_imbalance_factor
+
+
+def test_kind_and_coverage(small_powerlaw):
+    r = VoronoiPartitioner().partition(small_powerlaw, 4)
+    assert r.kind == EDGE_CUT
+    assert np.all((r.vertex_parts >= 0) & (r.vertex_parts < 4))
+
+
+def test_every_component_covered(two_triangles):
+    # Both components must receive seeds eventually (iterative sampling).
+    r = VoronoiPartitioner(seeds_per_worker=1, seed=0).partition(two_triangles, 2)
+    assert np.all(r.vertex_parts >= 0)
+
+
+def test_blocks_respect_connectivity(small_road):
+    """Voronoi blocks grown by BFS are connected by construction.
+
+    After packing, each worker's owned set is a union of connected
+    blocks; verify that no vertex is stranded away from every neighbor
+    of its own worker *unless* its whole block is a singleton.
+    """
+    r = VoronoiPartitioner(seeds_per_worker=4, seed=1).partition(small_road, 3)
+    g = small_road
+    same_part_edge = r.vertex_parts[g.src] == r.vertex_parts[g.dst]
+    # A Voronoi partition of a grid keeps most edges internal.
+    assert same_part_edge.mean() > 0.5
+
+
+def test_roughly_vertex_balanced(small_powerlaw):
+    r = VoronoiPartitioner(seeds_per_worker=8, seed=2).partition(small_powerlaw, 4)
+    assert vertex_imbalance_factor(r) < 1.6
+
+
+def test_deterministic(small_powerlaw):
+    a = VoronoiPartitioner(seed=5).partition(small_powerlaw, 4)
+    b = VoronoiPartitioner(seed=5).partition(small_powerlaw, 4)
+    assert np.array_equal(a.vertex_parts, b.vertex_parts)
+
+
+def test_invalid_seeds_per_worker():
+    with pytest.raises(ValueError):
+        VoronoiPartitioner(seeds_per_worker=0)
+
+
+def test_more_seeds_than_vertices():
+    g = Graph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+    r = VoronoiPartitioner(seeds_per_worker=10).partition(g, 2)
+    assert np.all(r.vertex_parts >= 0)

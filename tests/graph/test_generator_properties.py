@@ -1,0 +1,71 @@
+"""Property-based tests for the synthetic graph generators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import erdos_renyi, powerlaw_graph, road_network
+
+
+@given(
+    n=st.integers(10, 400),
+    eta=st.floats(1.2, 4.0),
+    min_degree=st.integers(1, 4),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=25, deadline=None)
+def test_powerlaw_structural_invariants(n, eta, min_degree, seed):
+    g = powerlaw_graph(n, eta=eta, min_degree=min_degree, seed=seed)
+    assert g.num_vertices == n
+    assert np.all(g.src != g.dst)  # no self loops
+    # Doubled representation: symmetric edge multiset.
+    fwd = set(zip(g.src.tolist(), g.dst.tolist()))
+    assert all((v, u) in fwd for (u, v) in fwd)
+
+
+@given(
+    n=st.integers(10, 400),
+    eta=st.floats(1.2, 4.0),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=20, deadline=None)
+def test_powerlaw_directed_variant(n, eta, seed):
+    g = powerlaw_graph(n, eta=eta, min_degree=2, directed=True, seed=seed)
+    assert g.directed
+    assert np.all(g.src != g.dst)
+
+
+@given(
+    w=st.integers(2, 20),
+    h=st.integers(2, 20),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=25, deadline=None)
+def test_road_network_invariants(w, h, seed):
+    g = road_network(w, h, seed=seed)
+    assert g.num_vertices == w * h
+    assert g.weights is not None and np.all(g.weights >= 1.0)
+    # Grid degrees are bounded: <= 4 axis neighbors + diagonals, doubled.
+    assert g.degrees().max() <= 2 * 8
+
+
+@given(
+    n=st.integers(4, 200),
+    m=st.integers(1, 400),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=25, deadline=None)
+def test_erdos_renyi_invariants(n, m, seed):
+    g = erdos_renyi(n, m, directed=True, seed=seed)
+    assert g.num_vertices == n
+    assert g.num_edges <= m
+    assert np.all(g.src != g.dst)
+    keys = g.src * np.int64(n) + g.dst
+    assert np.unique(keys).size == g.num_edges  # simplified
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=15, deadline=None)
+def test_generators_deterministic_per_seed(seed):
+    a = powerlaw_graph(100, eta=2.0, seed=seed)
+    b = powerlaw_graph(100, eta=2.0, seed=seed)
+    assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)

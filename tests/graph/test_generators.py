@@ -1,0 +1,194 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    estimate_eta_fit,
+    paper_graph_suite,
+    powerlaw_graph,
+    rmat,
+    road_network,
+)
+
+
+class TestRoadNetwork:
+    def test_vertex_count(self):
+        g = road_network(10, 8)
+        assert g.num_vertices == 80
+
+    def test_not_directed(self):
+        assert not road_network(5, 5).directed
+
+    def test_has_weights(self):
+        g = road_network(6, 6)
+        assert g.weights is not None
+        assert np.all(g.weights >= 1.0) and np.all(g.weights < 2.0)
+
+    def test_degree_concentrated(self):
+        g = road_network(30, 30, seed=1)
+        deg = g.degrees()
+        # Grid degrees sit in a narrow band (some drop/diagonal noise).
+        assert np.percentile(deg, 95) <= 12
+        assert deg.max() <= 16
+
+    def test_deterministic(self):
+        a = road_network(8, 8, seed=9)
+        b = road_network(8, 8, seed=9)
+        assert np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+
+    def test_seed_changes_graph(self):
+        a = road_network(8, 8, seed=1, drop_fraction=0.2)
+        b = road_network(8, 8, seed=2, drop_fraction=0.2)
+        assert a.num_edges != b.num_edges or not np.array_equal(a.src, b.src)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            road_network(1, 5)
+
+    def test_no_diagonals_or_drops(self):
+        g = road_network(5, 5, diagonal_fraction=0.0, drop_fraction=0.0)
+        # Full 5x5 grid: 2 * 5 * 4 undirected edges.
+        assert g.num_undirected_edges == 40
+
+
+class TestPowerlawGraph:
+    def test_basic_shape(self):
+        g = powerlaw_graph(500, eta=2.5, seed=1)
+        assert g.num_vertices == 500
+        assert g.num_edges > 0
+        assert not g.directed
+
+    def test_directed_variant(self):
+        g = powerlaw_graph(500, eta=2.5, directed=True, seed=1)
+        assert g.directed
+
+    def test_lower_eta_more_skewed(self):
+        flat = powerlaw_graph(3000, eta=3.5, min_degree=3, seed=4)
+        skew = powerlaw_graph(3000, eta=1.8, min_degree=3, seed=4)
+        assert skew.degrees().max() > flat.degrees().max()
+
+    def test_no_self_loops(self):
+        g = powerlaw_graph(400, eta=2.0, seed=2)
+        assert np.all(g.src != g.dst)
+
+    def test_no_duplicate_undirected_pairs(self):
+        g = powerlaw_graph(400, eta=2.0, seed=2)
+        lo = np.minimum(g.src, g.dst)
+        hi = np.maximum(g.src, g.dst)
+        keys = lo * g.num_vertices + hi
+        # Doubled representation: every undirected pair appears exactly twice.
+        _, counts = np.unique(keys, return_counts=True)
+        assert np.all(counts == 2)
+
+    def test_deterministic(self):
+        a = powerlaw_graph(300, eta=2.2, seed=7)
+        b = powerlaw_graph(300, eta=2.2, seed=7)
+        assert np.array_equal(a.src, b.src)
+
+    def test_invalid_eta_raises(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(100, eta=0.0)
+
+    def test_too_few_vertices_raises(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(1, eta=2.0)
+
+    def test_min_degree_respected_in_expectation(self):
+        g = powerlaw_graph(2000, eta=2.5, min_degree=4, seed=3)
+        assert g.degrees().mean() >= 4  # doubled representation
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        g = barabasi_albert(300, attach=3, seed=1)
+        assert g.num_vertices == 300
+        # Each non-seed vertex adds `attach` undirected edges.
+        assert g.num_undirected_edges == (300 - 3) * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(2000, attach=2, seed=1)
+        deg = g.degrees()
+        assert deg.max() > 20 * np.median(deg) / 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, attach=0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, attach=3)
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat(8, edge_factor=8, seed=1)
+        assert g.num_vertices == 256
+        assert g.num_edges > 0
+        assert g.directed
+
+    def test_undirected_variant(self):
+        g = rmat(6, edge_factor=4, directed=False, seed=1)
+        assert not g.directed
+
+    def test_skewed(self):
+        g = rmat(10, edge_factor=8, seed=1)
+        deg = g.degrees()
+        assert deg.max() > 10 * max(np.median(deg), 1)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.5, b=0.4, c=0.2)
+
+
+class TestErdosRenyi:
+    def test_directed(self):
+        g = erdos_renyi(200, 1000, directed=True, seed=1)
+        assert g.directed
+        assert 0 < g.num_edges <= 1000
+
+    def test_undirected(self):
+        g = erdos_renyi(200, 1000, directed=False, seed=1)
+        assert not g.directed
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(100, 500, seed=2)
+        assert np.all(g.src != g.dst)
+
+
+class TestPaperSuite:
+    def test_contains_four_graphs(self):
+        suite = paper_graph_suite(scale=0.1)
+        assert set(suite) == {"usa-road", "livejournal", "friendster", "twitter"}
+
+    def test_eta_ordering_matches_paper(self):
+        suite = paper_graph_suite(scale=0.5)
+        etas = {name: estimate_eta_fit(g) for name, g in suite.items()}
+        # Road is by far the steepest; Twitter the heaviest tail.
+        assert etas["usa-road"] > etas["livejournal"]
+        assert etas["usa-road"] > etas["friendster"]
+        assert etas["livejournal"] > etas["twitter"]
+
+    def test_directedness_matches_paper(self):
+        suite = paper_graph_suite(scale=0.1)
+        assert not suite["usa-road"].directed
+        assert suite["livejournal"].directed
+        assert not suite["friendster"].directed
+        assert suite["twitter"].directed
+
+    def test_road_sparsest(self):
+        suite = paper_graph_suite(scale=0.25)
+        assert (
+            suite["usa-road"].average_degree
+            < suite["friendster"].average_degree
+        )
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            paper_graph_suite(scale=0.0)
+
+    def test_deterministic(self):
+        a = paper_graph_suite(scale=0.1, seed=3)
+        b = paper_graph_suite(scale=0.1, seed=3)
+        for name in a:
+            assert np.array_equal(a[name].src, b[name].src)

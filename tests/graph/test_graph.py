@@ -1,0 +1,168 @@
+"""Unit tests for the core Graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRIndex, Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.directed
+
+    def test_explicit_num_vertices(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_from_undirected_doubles_edges(self):
+        g = Graph.from_undirected_edges([(0, 1), (1, 2)])
+        assert g.num_edges == 4
+        assert not g.directed
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (1, 2) in pairs and (2, 1) in pairs
+
+    def test_num_undirected_edges(self):
+        g = Graph.from_undirected_edges([(0, 1), (1, 2)])
+        assert g.num_undirected_edges == 2
+        d = Graph.from_edges([(0, 1), (1, 2)], directed=True)
+        assert d.num_undirected_edges == 2
+
+    def test_empty_edge_list(self):
+        g = Graph.from_edges([], num_vertices=5)
+        assert g.num_edges == 0
+        assert g.num_vertices == 5
+
+    def test_mismatched_arrays_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1])
+
+    def test_out_of_range_endpoint_raises(self):
+        with pytest.raises(ValueError):
+            Graph(2, [0], [5])
+        with pytest.raises(ValueError):
+            Graph(2, [-1], [0])
+
+    def test_zero_vertices_raises(self):
+        with pytest.raises(ValueError):
+            Graph(0, [], [])
+
+    def test_bad_edge_shape_raises(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges([(0, 1, 2)])
+
+    def test_weights_must_parallel_edges(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1, 2], weights=[1.0])
+
+    def test_weights_stored(self):
+        g = Graph(3, [0, 1], [1, 2], weights=[1.5, 2.5])
+        assert np.allclose(g.weights, [1.5, 2.5])
+
+
+class TestDegrees:
+    def test_out_in_degrees(self, path_graph):
+        out = path_graph.out_degrees()
+        inn = path_graph.in_degrees()
+        assert out[0] == 1 and out[9] == 0
+        assert inn[0] == 0 and inn[9] == 1
+        assert out.sum() == path_graph.num_edges
+        assert inn.sum() == path_graph.num_edges
+
+    def test_total_degrees(self, path_graph):
+        deg = path_graph.degrees()
+        assert deg[0] == 1 and deg[5] == 2 and deg[9] == 1
+
+    def test_degrees_cached(self, path_graph):
+        assert path_graph.degrees() is path_graph.degrees()
+
+    def test_average_degree(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)], num_vertices=3)
+        assert g.average_degree == pytest.approx(1.0)
+
+    def test_undirected_degree_counts_both_directions(self):
+        g = Graph.from_undirected_edges([(0, 1)])
+        assert g.degrees()[0] == 2  # one out, one in
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, path_graph):
+        assert path_graph.out_neighbors(3).tolist() == [4]
+        assert path_graph.out_neighbors(9).tolist() == []
+
+    def test_in_neighbors(self, path_graph):
+        assert path_graph.in_neighbors(3).tolist() == [2]
+        assert path_graph.in_neighbors(0).tolist() == []
+
+    def test_neighbors_union(self, path_graph):
+        assert path_graph.neighbors(3).tolist() == [2, 4]
+
+    def test_csr_index_edges_of(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        idx = g.out_index()
+        eids = idx.edges_of(0)
+        assert sorted(g.dst[eids].tolist()) == [1, 2]
+        assert idx.degree(0) == 2
+        assert idx.degree(2) == 0
+
+    def test_csr_matches_bruteforce(self, small_powerlaw):
+        g = small_powerlaw
+        idx = g.out_index()
+        for v in [0, 1, 17, 500, g.num_vertices - 1]:
+            expected = sorted(g.dst[g.src == v].tolist())
+            assert sorted(idx.neighbors_of(v).tolist()) == expected
+
+    def test_csr_index_standalone(self):
+        key = np.array([2, 0, 2, 1])
+        other = np.array([10, 11, 12, 13])
+        idx = CSRIndex(key, other, 3)
+        assert sorted(idx.neighbors_of(2).tolist()) == [10, 12]
+        assert idx.neighbors_of(0).tolist() == [11]
+
+
+class TestTransforms:
+    def test_edges_iterator(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert list(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_edge_array(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.edge_array().tolist() == [[0, 1], [1, 2]]
+
+    def test_reversed(self, path_graph):
+        r = path_graph.reversed()
+        assert r.out_neighbors(1).tolist() == [0]
+        assert r.num_edges == path_graph.num_edges
+
+    def test_reversed_preserves_weights(self):
+        g = Graph(3, [0, 1], [1, 2], weights=[1.5, 2.5])
+        r = g.reversed()
+        assert np.allclose(r.weights, [1.5, 2.5])
+
+    def test_with_weights(self, path_graph):
+        w = path_graph.with_weights(np.arange(9, dtype=float))
+        assert w.weights[3] == 3.0
+        assert path_graph.weights is None  # original untouched
+
+    def test_with_unit_weights(self, path_graph):
+        w = path_graph.with_unit_weights()
+        assert np.all(w.weights == 1.0)
+
+    def test_simplify_removes_self_loops(self):
+        g = Graph.from_edges([(0, 0), (0, 1), (1, 1)], num_vertices=2)
+        s = g.simplify()
+        assert s.num_edges == 1
+        assert (s.src[0], s.dst[0]) == (0, 1)
+
+    def test_simplify_removes_duplicates(self):
+        g = Graph.from_edges([(0, 1), (0, 1), (1, 0)], num_vertices=2)
+        s = g.simplify()
+        assert s.num_edges == 2  # (0,1) and (1,0) are distinct directed edges
+
+    def test_simplify_preserves_weights_of_first_occurrence(self):
+        g = Graph(2, [0, 0], [1, 1], weights=[7.0, 9.0])
+        s = g.simplify()
+        assert s.weights.tolist() == [7.0]

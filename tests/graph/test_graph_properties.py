@@ -1,0 +1,76 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+
+# Strategy: a random small edge list over up to 20 vertices.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19)), min_size=0, max_size=60
+)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_edge_count(edges):
+    g = Graph.from_edges(edges, num_vertices=20)
+    assert g.out_degrees().sum() == g.num_edges
+    assert g.in_degrees().sum() == g.num_edges
+    assert g.degrees().sum() == 2 * g.num_edges
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_csr_partitions_every_edge(edges):
+    g = Graph.from_edges(edges, num_vertices=20)
+    idx = g.out_index()
+    seen = np.concatenate(
+        [idx.edges_of(v) for v in range(g.num_vertices)]
+    ) if g.num_edges else np.array([], dtype=np.int64)
+    assert sorted(seen.tolist()) == list(range(g.num_edges))
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_out_index_neighbors_are_correct(edges):
+    g = Graph.from_edges(edges, num_vertices=20)
+    idx = g.out_index()
+    for v in range(g.num_vertices):
+        expected = sorted(g.dst[g.src == v].tolist())
+        assert sorted(idx.neighbors_of(v).tolist()) == expected
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_undirected_doubling_symmetric(edges):
+    g = Graph.from_undirected_edges(edges, num_vertices=20)
+    fwd = set(zip(g.src.tolist(), g.dst.tolist()))
+    assert all((v, u) in fwd for (u, v) in fwd)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_simplify_idempotent(edges):
+    g = Graph.from_edges(edges, num_vertices=20).simplify()
+    again = g.simplify()
+    assert np.array_equal(g.src, again.src)
+    assert np.array_equal(g.dst, again.dst)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_simplify_has_no_loops_or_duplicates(edges):
+    g = Graph.from_edges(edges, num_vertices=20).simplify()
+    assert np.all(g.src != g.dst)
+    keys = g.src * 20 + g.dst
+    assert np.unique(keys).size == g.num_edges
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_reversed_involution(edges):
+    g = Graph.from_edges(edges, num_vertices=20)
+    rr = g.reversed().reversed()
+    assert np.array_equal(g.src, rr.src)
+    assert np.array_equal(g.dst, rr.dst)

@@ -1,0 +1,100 @@
+"""Unit tests for graph IO round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    read_edge_list,
+    read_metis,
+    road_network,
+    write_edge_list,
+    write_metis,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_directed(self, tmp_path, path_graph):
+        p = str(tmp_path / "g.txt")
+        write_edge_list(path_graph, p)
+        g = read_edge_list(p)
+        assert g.num_vertices == path_graph.num_vertices
+        assert g.directed
+        assert np.array_equal(g.src, path_graph.src)
+        assert np.array_equal(g.dst, path_graph.dst)
+
+    def test_roundtrip_undirected(self, tmp_path, tiny_graph):
+        p = str(tmp_path / "g.txt")
+        write_edge_list(tiny_graph, p)
+        g = read_edge_list(p)
+        assert not g.directed
+        assert g.num_edges == tiny_graph.num_edges
+
+    def test_roundtrip_weights(self, tmp_path):
+        src = Graph(3, [0, 1], [1, 2], weights=[1.25, 3.5])
+        p = str(tmp_path / "w.txt")
+        write_edge_list(src, p)
+        g = read_edge_list(p)
+        assert np.allclose(g.weights, [1.25, 3.5])
+
+    def test_snap_style_comments(self, tmp_path):
+        p = tmp_path / "snap.txt"
+        p.write_text("# Nodes: 3 Edges: 2\n% another comment\n0 1\n1 2\n")
+        g = read_edge_list(str(p))
+        assert g.num_edges == 2
+        assert g.directed  # SNAP default
+
+    def test_explicit_overrides(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        g = read_edge_list(str(p), directed=False, num_vertices=10)
+        assert g.num_vertices == 10
+        assert not g.directed
+
+    def test_no_header_mode(self, tmp_path, path_graph):
+        p = str(tmp_path / "g.txt")
+        write_edge_list(path_graph, p, header=False)
+        text = open(p).read()
+        assert not text.startswith("#")
+        g = read_edge_list(p)
+        assert g.num_edges == path_graph.num_edges
+
+    def test_name_from_filename(self, tmp_path):
+        p = tmp_path / "mygraph.txt"
+        p.write_text("0 1\n")
+        assert read_edge_list(str(p)).name == "mygraph"
+
+
+class TestMetisFormat:
+    def test_roundtrip_structure(self, tmp_path, tiny_graph):
+        p = str(tmp_path / "g.metis")
+        write_metis(tiny_graph, p)
+        g = read_metis(p)
+        assert g.num_vertices == tiny_graph.num_vertices
+        assert g.num_undirected_edges == tiny_graph.num_undirected_edges
+
+    def test_header_counts(self, tmp_path, two_triangles):
+        p = str(tmp_path / "g.metis")
+        write_metis(two_triangles, p)
+        header = open(p).readline().split()
+        assert header == ["6", "6"]
+
+    def test_directed_is_symmetrized(self, tmp_path, path_graph):
+        p = str(tmp_path / "g.metis")
+        write_metis(path_graph, p)
+        g = read_metis(p)
+        # The path has 9 undirected edges after symmetrization.
+        assert g.num_undirected_edges == 9
+
+    def test_self_loops_dropped(self, tmp_path):
+        g = Graph.from_edges([(0, 0), (0, 1)], num_vertices=2)
+        p = str(tmp_path / "g.metis")
+        write_metis(g, p)
+        assert read_metis(p).num_undirected_edges == 1
+
+    def test_roundtrip_road(self, tmp_path):
+        g = road_network(5, 5, seed=1)
+        p = str(tmp_path / "road.metis")
+        write_metis(g, p)
+        r = read_metis(p)
+        assert r.num_undirected_edges == g.num_undirected_edges

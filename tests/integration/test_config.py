@@ -1,0 +1,73 @@
+"""Unit tests for the experiment configuration layer."""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_config
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+class TestExperimentConfig:
+    def test_graphs_cached(self):
+        cfg = ExperimentConfig(scale=0.1)
+        assert cfg.graphs() is cfg.graphs()
+
+    def test_graph_names(self):
+        cfg = ExperimentConfig(scale=0.1)
+        assert set(cfg.graphs()) == {
+            "usa-road", "livejournal", "friendster", "twitter",
+        }
+
+    def test_partitioners_fresh_instances(self):
+        cfg = ExperimentConfig(scale=0.1)
+        a = cfg.partitioners()
+        b = cfg.partitioners()
+        assert set(a) == {"EBV", "Ginger", "DBH", "CVC", "NE", "METIS"}
+        assert a["EBV"] is not b["EBV"]
+
+    def test_frameworks_eight_systems(self):
+        cfg = ExperimentConfig(scale=0.1)
+        systems = cfg.frameworks()
+        names = [f.name for f in systems]
+        assert names == [
+            "EBV", "Ginger", "DBH", "CVC", "NE", "METIS", "Galois", "Blogel",
+        ]
+
+    def test_table_workers_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.table_workers == {
+            "usa-road": 12, "livejournal": 12, "friendster": 32, "twitter": 32,
+        }
+
+    def test_figure_workers_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.figure_workers["livejournal"] == [4, 8, 12, 16, 20, 24]
+        assert cfg.figure_workers["twitter"] == [24, 32, 40, 48]
+
+
+class TestDefaultConfig:
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.33")
+        assert default_config().scale == pytest.approx(0.33)
+
+    def test_quick_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        cfg = default_config()
+        assert cfg.scale <= 0.25
+        assert cfg.pagerank_iters == 10
+
+    def test_default_no_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_QUICK", raising=False)
+        cfg = default_config()
+        assert cfg.scale == 1.0
+
+
+class TestPaperConstants:
+    def test_table1_reference_rows(self):
+        assert PAPER_TABLE1["twitter"][4] == 1.87
+        assert PAPER_TABLE1["usa-road"][4] == 6.30
+        # Directedness matches Section V-A.
+        assert PAPER_TABLE1["livejournal"][0] == "Directed"
+        assert PAPER_TABLE1["friendster"][0] == "Undirected"

@@ -1,0 +1,217 @@
+"""Integration tests: the experiment drivers reproduce the paper's shapes.
+
+These run the real drivers at a reduced scale and assert the
+*qualitative* claims of each table/figure (DESIGN.md §4), which is what
+"reproduction" means for a simulated substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_alpha_beta_ablation,
+    run_bounds_ablation,
+    run_breakdown,
+    run_fig5,
+    run_sort_order_ablation,
+    run_table1,
+    run_tables345,
+    sweep_panel,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    cfg = ExperimentConfig(scale=0.25)
+    cfg.table_workers = {
+        "usa-road": 8,
+        "livejournal": 8,
+        "friendster": 16,
+        "twitter": 16,
+    }
+    return cfg
+
+
+@pytest.fixture(scope="module")
+def tables345(config):
+    data, t3, t4, t5 = run_tables345(config)
+    return data, t3, t4, t5
+
+
+class TestTable1:
+    def test_rows_and_text(self, config):
+        rows, text = run_table1(config)
+        assert len(rows) == 4
+        assert "usa-road" in text and "twitter" in text
+
+    def test_eta_ordering(self, config):
+        rows, _ = run_table1(config)
+        eta = {r.name: r.eta for r in rows}
+        assert eta["usa-road"] > eta["livejournal"] > eta["twitter"]
+
+
+class TestTable3Shapes:
+    def test_ebv_has_lowest_rf_among_self_based(self, tables345):
+        data = tables345[0]
+        for graph in ("livejournal", "friendster", "twitter"):
+            ebv = data.metrics[(graph, "EBV")].replication
+            for other in ("Ginger", "DBH", "CVC"):
+                assert ebv < data.metrics[(graph, other)].replication, (graph, other)
+
+    def test_ebv_balanced(self, tables345):
+        data = tables345[0]
+        for (graph, method), m in data.metrics.items():
+            if method == "EBV":
+                assert m.edge_imbalance < 1.2
+                assert m.vertex_imbalance < 1.2
+
+    def test_ne_edge_balanced_but_vertex_imbalanced(self, tables345):
+        data = tables345[0]
+        for graph in ("livejournal", "friendster", "twitter"):
+            ne = data.metrics[(graph, "NE")]
+            assert ne.edge_imbalance <= 1.01
+            assert ne.vertex_imbalance > 1.15
+
+    def test_metis_edge_imbalance_blows_up_on_powerlaw(self, tables345):
+        data = tables345[0]
+        for graph in ("livejournal", "friendster", "twitter"):
+            metis = data.metrics[(graph, "METIS")]
+            assert metis.edge_imbalance > 1.5
+            assert metis.vertex_imbalance < 1.3
+
+    def test_metis_ok_on_road(self, tables345):
+        data = tables345[0]
+        metis = data.metrics[("usa-road", "METIS")]
+        assert metis.edge_imbalance < 1.5
+        assert metis.replication < 1.3
+
+
+class TestTable4Shapes:
+    def test_messages_track_replication(self, tables345):
+        """Within the self-based group, fewer replicas => fewer messages."""
+        data = tables345[0]
+        for graph in ("livejournal", "friendster", "twitter"):
+            ebv = data.messages[(graph, "EBV")].total_messages
+            for other in ("Ginger", "DBH", "CVC"):
+                assert ebv < data.messages[(graph, other)].total_messages, (
+                    graph,
+                    other,
+                )
+
+    def test_local_based_win_on_road(self, tables345):
+        data = tables345[0]
+        road_ebv = data.messages[("usa-road", "EBV")].total_messages
+        for local_based in ("NE", "METIS"):
+            assert (
+                data.messages[("usa-road", local_based)].total_messages < road_ebv
+            )
+
+
+class TestTable5Shapes:
+    def test_self_based_max_mean_near_one(self, tables345):
+        data = tables345[0]
+        for graph in ("livejournal", "friendster", "twitter"):
+            for method in ("EBV", "Ginger", "DBH", "CVC"):
+                assert data.messages[(graph, method)].max_mean_ratio < 1.45, (
+                    graph,
+                    method,
+                )
+
+    def test_ne_max_mean_elevated_on_powerlaw(self, tables345):
+        data = tables345[0]
+        elevated = [
+            data.messages[(g, "NE")].max_mean_ratio
+            for g in ("livejournal", "friendster", "twitter")
+        ]
+        assert max(elevated) > 1.5
+
+
+class TestBreakdown:
+    def test_ebv_among_fastest(self, config):
+        rows, runs, table_text, timeline_text = run_breakdown(config)
+        times = {r.method: r.execution_time for r in rows}
+        ordered = sorted(times, key=times.get)
+        assert "EBV" in ordered[:3]
+        assert "Table II" in table_text
+        assert "Figure 4" in timeline_text
+
+    def test_metis_or_ne_have_highest_delta_c(self, config):
+        rows, *_ = run_breakdown(config)
+        dc = {r.method: r.delta_c for r in rows}
+        worst = max(dc, key=dc.get)
+        assert worst in ("METIS", "NE", "DBH")
+
+
+class TestFig5:
+    def test_sort_beats_unsort_finally(self, config):
+        curves, text = run_fig5(
+            config, graphs=("twitter",), subgraph_counts=(8, 16)
+        )
+        tw = curves["twitter"]
+        for p in (8, 16):
+            _, y_sort = tw[("sort", p)]
+            _, y_unsort = tw[("unsort", p)]
+            assert y_sort[-1] <= y_unsort[-1]
+
+    def test_sorted_curve_rises_then_flattens(self, config):
+        curves, _ = run_fig5(config, graphs=("twitter",), subgraph_counts=(16,))
+        x, y = curves["twitter"][("sort", 16)]
+        half = len(y) // 2
+        early_gain = y[half] - y[0]
+        late_gain = y[-1] - y[half]
+        assert early_gain > late_gain
+
+    def test_text_mentions_variants(self, config):
+        _, text = run_fig5(config, graphs=("twitter",), subgraph_counts=(8,))
+        assert "EBV-sort" in text and "EBV-unsort" in text
+
+
+class TestFigureSweeps:
+    def test_cc_panel_all_systems(self, config):
+        panel = sweep_panel(config, "livejournal", "CC", [4, 8])
+        assert set(panel) == {
+            "EBV", "Ginger", "DBH", "CVC", "NE", "METIS", "Galois", "Blogel",
+        }
+        for series in panel.values():
+            assert len(series) == 2
+            assert all(t > 0 for t in series)
+
+    def test_pr_panel_excludes_blogel(self, config):
+        panel = sweep_panel(config, "livejournal", "PR", [4])
+        assert "Blogel" not in panel
+        assert "Galois" in panel
+
+    def test_ebv_competitive_on_powerlaw(self, config):
+        panel = sweep_panel(config, "friendster", "CC", [16])
+        partitioner_times = {
+            k: v[0] for k, v in panel.items() if k not in ("Galois", "Blogel")
+        }
+        ordered = sorted(partitioner_times, key=partitioner_times.get)
+        assert "EBV" in ordered[:2]
+
+
+class TestAblations:
+    def test_bounds_hold(self, config):
+        rows, text = run_bounds_ablation(
+            config, num_parts=4, alphas=(1.0, 2.0), betas=(1.0, 2.0)
+        )
+        for r in rows:
+            assert r["edge_imbalance"] <= r["edge_bound"]
+            assert r["vertex_imbalance"] <= r["vertex_bound"]
+        assert "Theorem" in text
+
+    def test_alpha_beta_tradeoff(self, config):
+        rows, _ = run_alpha_beta_ablation(
+            config, num_parts=8, weights=(0.25, 4.0)
+        )
+        # Heavier balance weights cannot improve (lower) replication.
+        assert rows[0]["replication"] <= rows[1]["replication"] + 0.05
+        # And they keep balance at least as tight.
+        assert rows[1]["edge_imbalance"] <= rows[0]["edge_imbalance"] + 0.05
+
+    def test_sort_order_ablation(self, config):
+        results, text = run_sort_order_ablation(config, num_parts=8)
+        assert set(results) == {"ascending", "descending", "random", "input"}
+        assert results["ascending"] <= results["descending"]
+        assert "Ablation" in text

@@ -1,0 +1,69 @@
+"""Driver-level tests for the Figure 2/3/5 experiment runners."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_fig2, run_fig3, run_fig5
+from repro.experiments.figures23 import render_panels
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    cfg = ExperimentConfig(scale=0.08)
+    cfg.figure_workers = {
+        "usa-road": [2, 4],
+        "livejournal": [2, 4],
+        "friendster": [4, 8],
+        "twitter": [4, 8],
+    }
+    cfg.pagerank_iters = 5
+    return cfg
+
+
+class TestFig2Driver:
+    def test_single_app_single_graph(self, tiny_config):
+        panels, text = run_fig2(tiny_config, apps=("CC",), graphs=("livejournal",))
+        assert set(panels) == {("CC", "livejournal")}
+        panel = panels[("CC", "livejournal")]
+        assert len(panel["EBV"]) == 2
+        assert "Figure 2" in text and "livejournal" in text
+
+    def test_pr_panels_drop_blogel(self, tiny_config):
+        panels, _ = run_fig2(tiny_config, apps=("PR",), graphs=("twitter",))
+        assert "Blogel" not in panels[("PR", "twitter")]
+
+    def test_times_positive_and_finite(self, tiny_config):
+        panels, _ = run_fig2(tiny_config, apps=("SSSP",), graphs=("friendster",))
+        for series in panels[("SSSP", "friendster")].values():
+            assert all(0 < t < 60 for t in series)
+
+
+class TestFig3Driver:
+    def test_road_panels(self, tiny_config):
+        panels, text = run_fig3(tiny_config)
+        assert set(panels) == {("CC", "usa-road"), ("SSSP", "usa-road")}
+        assert "Figure 3" in text
+
+
+class TestFig5Driver:
+    def test_curve_keys(self, tiny_config):
+        curves, _ = run_fig5(
+            tiny_config, graphs=("livejournal",), subgraph_counts=(2, 4)
+        )
+        lj = curves["livejournal"]
+        assert set(lj) == {("sort", 2), ("unsort", 2), ("sort", 4), ("unsort", 4)}
+
+    def test_curves_monotone_nondecreasing(self, tiny_config):
+        curves, _ = run_fig5(
+            tiny_config, graphs=("twitter",), subgraph_counts=(4,)
+        )
+        for x, y in curves["twitter"].values():
+            assert all(b >= a - 1e-12 for a, b in zip(y, y[1:]))
+            assert x[-1] >= x[0]
+
+
+class TestRenderPanels:
+    def test_layout(self, tiny_config):
+        panels, _ = run_fig2(tiny_config, apps=("CC",), graphs=("livejournal",))
+        text = render_panels(panels, tiny_config.figure_workers, "My Title")
+        assert text.startswith("My Title")
+        assert "p=2" in text and "p=4" in text

@@ -1,0 +1,40 @@
+"""Integration test for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    cfg = ExperimentConfig(scale=0.12)
+    cfg.table_workers = {
+        "usa-road": 4, "livejournal": 4, "friendster": 8, "twitter": 8,
+    }
+    return generate_report(cfg, include_figures=False)
+
+
+def test_report_contains_every_table(report):
+    for marker in ("Table I", "Table II", "Table III", "Table IV", "Table V"):
+        assert marker in report
+
+
+def test_report_contains_fig4_and_fig5(report):
+    assert "Figure 4" in report
+    assert "Figure 5" in report
+
+
+def test_report_contains_ablations(report):
+    assert "Ablation A1" in report
+    assert "Ablation A2" in report
+    assert "Ablation A3" in report
+
+
+def test_report_excludes_figures_when_asked(report):
+    assert "Figure 2" not in report
+    assert "Figure 3" not in report
+
+
+def test_report_lists_all_partitioners(report):
+    for method in ("EBV", "Ginger", "DBH", "CVC", "NE", "METIS"):
+        assert method in report

@@ -1,0 +1,107 @@
+"""Unit tests for PartitionResult and the partitioner interface."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.partition import EDGE_CUT, VERTEX_CUT, PartitionResult
+
+
+@pytest.fixture
+def square():
+    """4-cycle 0-1-2-3 (directed edges around the loop)."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+
+
+class TestValidation:
+    def test_vertex_cut_requires_edge_parts(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 2, kind=VERTEX_CUT)
+
+    def test_edge_cut_requires_vertex_parts(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 2, kind=EDGE_CUT)
+
+    def test_unknown_kind(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 2, edge_parts=np.zeros(4), kind="bogus")
+
+    def test_wrong_length_edge_parts(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 2, edge_parts=np.zeros(3), kind=VERTEX_CUT)
+
+    def test_wrong_length_vertex_parts(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 2, vertex_parts=np.zeros(3), kind=EDGE_CUT)
+
+    def test_part_ids_out_of_range(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 2, edge_parts=np.array([0, 1, 2, 0]))
+
+    def test_num_parts_positive(self, square):
+        with pytest.raises(ValueError):
+            PartitionResult(square, 0, edge_parts=np.zeros(4))
+
+
+class TestVertexCutDerivations:
+    def test_edge_counts(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        assert r.edge_counts().tolist() == [2, 2]
+
+    def test_vertex_membership(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        members = r.vertex_membership()
+        assert members[0].tolist() == [0, 1, 2]
+        assert members[1].tolist() == [0, 2, 3]
+
+    def test_vertex_counts_counts_replicas(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        assert r.vertex_counts().tolist() == [3, 3]  # 0 and 2 replicated
+
+    def test_replica_map(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        rmap = r.replica_map()
+        assert rmap[0].tolist() == [0, 1]
+        assert rmap[1].tolist() == [0]
+        assert rmap[2].tolist() == [0, 1]
+        assert rmap[3].tolist() == [1]
+
+    def test_subgraph_edges(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 1, 0, 1]))
+        assert r.subgraph_edges(0).tolist() == [0, 2]
+        assert r.subgraph_edges(1).tolist() == [1, 3]
+
+    def test_single_part(self, square):
+        r = PartitionResult(square, 1, edge_parts=np.zeros(4, dtype=int))
+        assert r.edge_counts().tolist() == [4]
+        assert r.vertex_counts().tolist() == [4]
+
+
+class TestEdgeCutDerivations:
+    def test_edge_parts_follow_source(self, square):
+        r = PartitionResult(
+            square, 2, vertex_parts=np.array([0, 0, 1, 1]), kind=EDGE_CUT
+        )
+        # Edges (0,1),(1,2) start in part 0; (2,3),(3,0) in part 1.
+        assert r.edge_parts.tolist() == [0, 0, 1, 1]
+
+    def test_edge_counts_count_replicated_edges(self, square):
+        r = PartitionResult(
+            square, 2, vertex_parts=np.array([0, 0, 1, 1]), kind=EDGE_CUT
+        )
+        # Cross edges (1,2) and (3,0) belong to both sides (Section III-C).
+        assert r.edge_counts().tolist() == [3, 3]
+
+    def test_vertex_counts_partition_exactly(self, square):
+        r = PartitionResult(
+            square, 2, vertex_parts=np.array([0, 1, 0, 1]), kind=EDGE_CUT
+        )
+        assert r.vertex_counts().sum() == square.num_vertices
+
+    def test_replica_map_includes_ghosts(self, square):
+        r = PartitionResult(
+            square, 2, vertex_parts=np.array([0, 0, 1, 1]), kind=EDGE_CUT
+        )
+        rmap = r.replica_map()
+        # Vertex 2 is owned by part 1 and ghosted into part 0 via edge (1,2).
+        assert rmap[2].tolist() == [0, 1]

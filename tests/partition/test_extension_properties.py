@@ -1,0 +1,75 @@
+"""Property-based tests for the extension partitioners and refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.partition import (
+    HDRFPartitioner,
+    ShardedEBVPartitioner,
+    StreamingEBVPartitioner,
+    refine_vertex_cut,
+    replication_factor,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    min_size=1,
+    max_size=80,
+)
+num_parts = st.integers(1, 6)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: StreamingEBVPartitioner(chunk_size=16),
+        lambda: ShardedEBVPartitioner(num_shards=3, sync_interval=8),
+        lambda: HDRFPartitioner(),
+    ],
+    ids=["streaming", "sharded", "hdrf"],
+)
+@given(edges=edge_lists, p=num_parts)
+@settings(max_examples=25, deadline=None)
+def test_extension_partitioners_complete(make, edges, p):
+    g = Graph.from_edges(edges, num_vertices=16)
+    r = make().partition(g, p)
+    assert np.all((r.edge_parts >= 0) & (r.edge_parts < p))
+    assert int(r.edge_counts().sum()) == g.num_edges
+
+
+def _objective(result, alpha=1.0, beta=1.0):
+    """The refinement objective F from repro.partition.refine."""
+    g = result.graph
+    p = result.num_parts
+    replicas = sum(parts.size for parts in result.replica_map())
+    ecount = result.edge_counts().astype(float)
+    vcount = result.vertex_counts().astype(float)
+    return (
+        replicas
+        + alpha / (2 * g.num_edges / p) * float((ecount**2).sum())
+        + beta / (2 * g.num_vertices / p) * float((vcount**2).sum())
+    )
+
+
+@given(edges=edge_lists, p=st.integers(2, 5), seed=st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_refinement_preserves_partition_and_never_raises_objective(edges, p, seed):
+    g = Graph.from_edges(edges, num_vertices=16)
+    base = HDRFPartitioner().partition(g, p)
+    refined = refine_vertex_cut(base, seed=seed)
+    assert int(refined.edge_counts().sum()) == g.num_edges
+    # The refinement may trade a replica for balance (or vice versa) but
+    # its combined objective F must be monotone non-increasing.
+    assert _objective(refined) <= _objective(base) + 1e-6
+
+
+@given(edges=edge_lists, p=num_parts)
+@settings(max_examples=20, deadline=None)
+def test_sharded_single_shard_equals_big_interval(edges, p):
+    """With one shard the sync interval must not matter."""
+    g = Graph.from_edges(edges, num_vertices=16)
+    a = ShardedEBVPartitioner(num_shards=1, sync_interval=4).partition(g, p)
+    b = ShardedEBVPartitioner(num_shards=1, sync_interval=10**6).partition(g, p)
+    assert np.array_equal(a.edge_parts, b.edge_parts)

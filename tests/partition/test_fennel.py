@@ -1,0 +1,71 @@
+"""Unit tests for the Fennel streaming edge-cut baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ConnectedComponents, cc_reference
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.graph import Graph
+from repro.partition import (
+    EDGE_CUT,
+    RandomVertexHashPartitioner,
+    edge_imbalance_factor,
+    replication_factor,
+    vertex_imbalance_factor,
+)
+from repro.partition.fennel import FennelPartitioner
+
+
+class TestFennelBasics:
+    def test_kind_and_coverage(self, small_powerlaw):
+        r = FennelPartitioner().partition(small_powerlaw, 8)
+        assert r.kind == EDGE_CUT
+        assert np.all((r.vertex_parts >= 0) & (r.vertex_parts < 8))
+
+    def test_vertex_balance_capped(self, small_powerlaw):
+        r = FennelPartitioner(slack=1.1).partition(small_powerlaw, 8)
+        assert vertex_imbalance_factor(r) <= 1.1 + 1e-6
+
+    def test_beats_random_vertex_hash_on_cut(self, small_powerlaw):
+        fennel = FennelPartitioner().partition(small_powerlaw, 8)
+        rnd = RandomVertexHashPartitioner().partition(small_powerlaw, 8)
+        assert replication_factor(fennel) < replication_factor(rnd)
+
+    def test_edge_imbalance_on_powerlaw(self, small_powerlaw):
+        """Like METIS, Fennel balances vertices, not edges."""
+        r = FennelPartitioner().partition(small_powerlaw, 8)
+        assert edge_imbalance_factor(r) > 1.05
+
+    def test_deterministic(self, small_powerlaw):
+        a = FennelPartitioner().partition(small_powerlaw, 4)
+        b = FennelPartitioner().partition(small_powerlaw, 4)
+        assert np.array_equal(a.vertex_parts, b.vertex_parts)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FennelPartitioner(gamma=1.0)
+        with pytest.raises(ValueError):
+            FennelPartitioner(slack=0.9)
+
+    def test_single_part(self, tiny_graph):
+        r = FennelPartitioner().partition(tiny_graph, 1)
+        assert np.all(r.vertex_parts == 0)
+
+    def test_unshuffled_stream(self, small_powerlaw):
+        r = FennelPartitioner(shuffle=False).partition(small_powerlaw, 4)
+        assert np.all(r.vertex_parts >= 0)
+
+
+class TestFennelExecution:
+    def test_cc_correct_through_engine(self, small_powerlaw):
+        ref = cc_reference(small_powerlaw)
+        dg = build_distributed_graph(FennelPartitioner().partition(small_powerlaw, 4))
+        run = BSPEngine().run(dg, ConnectedComponents())
+        assert np.array_equal(run.values, ref)
+
+    def test_keeps_locality_on_road(self, small_road):
+        r = FennelPartitioner().partition(small_road, 4)
+        internal = (
+            r.vertex_parts[small_road.src] == r.vertex_parts[small_road.dst]
+        ).mean()
+        assert internal > 0.5

@@ -1,0 +1,98 @@
+"""Unit tests for the HDRF baseline and the refinement post-pass."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.partition import (
+    DBHPartitioner,
+    EBVPartitioner,
+    HDRFPartitioner,
+    MetisLikePartitioner,
+    RandomEdgeHashPartitioner,
+    edge_imbalance_factor,
+    refine_vertex_cut,
+    replication_factor,
+)
+
+
+class TestHDRF:
+    def test_every_edge_assigned(self, small_powerlaw):
+        r = HDRFPartitioner().partition(small_powerlaw, 8)
+        assert np.all((r.edge_parts >= 0) & (r.edge_parts < 8))
+        assert int(r.edge_counts().sum()) == small_powerlaw.num_edges
+
+    def test_single_part(self, small_powerlaw):
+        r = HDRFPartitioner().partition(small_powerlaw, 1)
+        assert np.all(r.edge_parts == 0)
+
+    def test_balanced(self, small_powerlaw):
+        r = HDRFPartitioner().partition(small_powerlaw, 8)
+        assert edge_imbalance_factor(r) < 1.2
+
+    def test_beats_random_hash_on_replication(self, small_powerlaw):
+        hdrf = HDRFPartitioner().partition(small_powerlaw, 8)
+        rnd = RandomEdgeHashPartitioner().partition(small_powerlaw, 8)
+        assert replication_factor(hdrf) < replication_factor(rnd)
+
+    def test_lambda_zero_reduces_replication(self, small_powerlaw):
+        """With no balance term HDRF packs harder (lower RF)."""
+        greedy = HDRFPartitioner(lam=0.0).partition(small_powerlaw, 8)
+        balanced = HDRFPartitioner(lam=4.0).partition(small_powerlaw, 8)
+        assert replication_factor(greedy) <= replication_factor(balanced) + 0.05
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            HDRFPartitioner(lam=-1.0)
+
+    def test_self_loops(self):
+        g = Graph.from_edges([(0, 0), (0, 1)], num_vertices=2)
+        r = HDRFPartitioner().partition(g, 2)
+        assert int(r.edge_counts().sum()) == 2
+
+    def test_deterministic(self, small_powerlaw):
+        a = HDRFPartitioner().partition(small_powerlaw, 4)
+        b = HDRFPartitioner().partition(small_powerlaw, 4)
+        assert np.array_equal(a.edge_parts, b.edge_parts)
+
+
+class TestRefinement:
+    def test_never_worsens_objective_metrics(self, small_powerlaw):
+        base = DBHPartitioner().partition(small_powerlaw, 8)
+        refined = refine_vertex_cut(base)
+        assert replication_factor(refined) <= replication_factor(base) + 1e-9
+
+    def test_improves_random_hash_substantially(self, small_powerlaw):
+        base = RandomEdgeHashPartitioner().partition(small_powerlaw, 8)
+        refined = refine_vertex_cut(base)
+        assert replication_factor(refined) < replication_factor(base) * 0.95
+
+    def test_keeps_balance(self, small_powerlaw):
+        base = DBHPartitioner().partition(small_powerlaw, 8)
+        refined = refine_vertex_cut(base)
+        assert edge_imbalance_factor(refined) < 1.5
+
+    def test_ebv_already_near_local_optimum(self, small_powerlaw):
+        base = EBVPartitioner().partition(small_powerlaw, 8)
+        refined = refine_vertex_cut(base)
+        gain = replication_factor(base) - replication_factor(refined)
+        # EBV leaves much less on the table than random hashing does.
+        assert gain < 0.5
+
+    def test_method_name_tagged(self, small_powerlaw):
+        base = EBVPartitioner().partition(small_powerlaw, 4)
+        assert refine_vertex_cut(base).method == "EBV+refine"
+
+    def test_rejects_edge_cut(self, small_powerlaw):
+        base = MetisLikePartitioner().partition(small_powerlaw, 4)
+        with pytest.raises(ValueError):
+            refine_vertex_cut(base)
+
+    def test_single_part_noop(self, small_powerlaw):
+        base = EBVPartitioner().partition(small_powerlaw, 1)
+        assert refine_vertex_cut(base) is base
+
+    def test_partition_completeness_preserved(self, small_powerlaw):
+        base = DBHPartitioner().partition(small_powerlaw, 8)
+        refined = refine_vertex_cut(base)
+        assert int(refined.edge_counts().sum()) == small_powerlaw.num_edges

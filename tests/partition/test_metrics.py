@@ -1,0 +1,105 @@
+"""Unit tests for the Section III-C metrics and theorem bounds."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.partition import (
+    EDGE_CUT,
+    PartitionResult,
+    edge_imbalance_factor,
+    partition_metrics,
+    replication_factor,
+    theorem1_edge_imbalance_bound,
+    theorem2_vertex_imbalance_bound,
+    vertex_imbalance_factor,
+)
+
+
+@pytest.fixture
+def square():
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4)
+
+
+class TestImbalanceFactors:
+    def test_perfectly_balanced(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        assert edge_imbalance_factor(r) == pytest.approx(1.0)
+
+    def test_fully_skewed(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 0, 0]))
+        assert edge_imbalance_factor(r) == pytest.approx(2.0)
+
+    def test_vertex_imbalance_balanced(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        # V_0 = {0,1,2}, V_1 = {0,2,3}: max 3 / (6/2) = 1.0
+        assert vertex_imbalance_factor(r) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], num_vertices=4)
+        r = PartitionResult(g, 2, edge_parts=np.zeros(0, dtype=int))
+        assert edge_imbalance_factor(r) == 1.0
+        assert vertex_imbalance_factor(r) == 1.0
+
+
+class TestReplicationFactor:
+    def test_vertex_cut_counts_vertex_replicas(self, square):
+        r = PartitionResult(square, 2, edge_parts=np.array([0, 0, 1, 1]))
+        # 6 replicas over 4 vertices.
+        assert replication_factor(r) == pytest.approx(1.5)
+
+    def test_single_part_is_one(self, square):
+        r = PartitionResult(square, 1, edge_parts=np.zeros(4, dtype=int))
+        assert replication_factor(r) == pytest.approx(1.0)
+
+    def test_edge_cut_counts_edge_replicas(self, square):
+        r = PartitionResult(
+            square, 2, vertex_parts=np.array([0, 0, 1, 1]), kind=EDGE_CUT
+        )
+        # 6 edge replicas over 4 edges.
+        assert replication_factor(r) == pytest.approx(1.5)
+
+    def test_edge_cut_no_cut_is_one(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], num_vertices=4)
+        r = PartitionResult(
+            g, 2, vertex_parts=np.array([0, 0, 1, 1]), kind=EDGE_CUT
+        )
+        assert replication_factor(r) == pytest.approx(1.0)
+
+
+class TestTheoremBounds:
+    def test_theorem1_formula(self):
+        # |E|=100, p=4, alpha=beta=1: inner = floor(200/4 + 100) = 150.
+        bound = theorem1_edge_imbalance_bound(100, 50, 4, 1.0, 1.0)
+        assert bound == pytest.approx(1 + 3 / 100 * 151)
+
+    def test_theorem1_tightens_with_alpha(self):
+        loose = theorem1_edge_imbalance_bound(1000, 500, 8, 0.5, 1.0)
+        tight = theorem1_edge_imbalance_bound(1000, 500, 8, 4.0, 1.0)
+        assert tight < loose
+
+    def test_theorem2_formula(self):
+        bound = theorem2_vertex_imbalance_bound(100, 150, 4, 1.0, 1.0)
+        inner = int(2 * 100 / 4 + 100)
+        assert bound == pytest.approx(1 + 3 / 150 * (1 + inner))
+
+    def test_theorem2_tightens_with_beta(self):
+        loose = theorem2_vertex_imbalance_bound(1000, 1500, 8, 1.0, 0.5)
+        tight = theorem2_vertex_imbalance_bound(1000, 1500, 8, 1.0, 4.0)
+        assert tight < loose
+
+    def test_degenerate_inputs(self):
+        assert theorem1_edge_imbalance_bound(0, 10, 4, 1, 1) == 1.0
+        assert theorem2_vertex_imbalance_bound(10, 0, 4, 1, 1) == 1.0
+
+
+class TestPartitionMetrics:
+    def test_bundle(self, square):
+        r = PartitionResult(
+            square, 2, edge_parts=np.array([0, 0, 1, 1]), method="X"
+        )
+        m = partition_metrics(r)
+        assert m.method == "X"
+        assert m.num_parts == 2
+        assert m.replication == pytest.approx(1.5)
+        assert "X" in m.as_row()

@@ -1,0 +1,68 @@
+"""Unit tests for partition save/load with fingerprint integrity."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, powerlaw_graph
+from repro.partition import (
+    EBVPartitioner,
+    MetisLikePartitioner,
+    graph_fingerprint,
+    load_partition,
+    save_partition,
+)
+
+
+class TestFingerprint:
+    def test_deterministic(self, small_powerlaw):
+        assert graph_fingerprint(small_powerlaw) == graph_fingerprint(small_powerlaw)
+
+    def test_differs_across_graphs(self, small_powerlaw, small_road):
+        assert graph_fingerprint(small_powerlaw) != graph_fingerprint(small_road)
+
+    def test_sensitive_to_edge_order(self):
+        a = Graph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+        b = Graph.from_edges([(1, 2), (0, 1)], num_vertices=3)
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+
+class TestRoundTrip:
+    def test_vertex_cut(self, tmp_path, small_powerlaw):
+        result = EBVPartitioner().partition(small_powerlaw, 6)
+        path = str(tmp_path / "p.txt")
+        save_partition(result, path)
+        loaded = load_partition(path, small_powerlaw)
+        assert loaded.kind == result.kind
+        assert loaded.num_parts == 6
+        assert loaded.method == "EBV"
+        assert np.array_equal(loaded.edge_parts, result.edge_parts)
+
+    def test_edge_cut(self, tmp_path, small_powerlaw):
+        result = MetisLikePartitioner().partition(small_powerlaw, 4)
+        path = str(tmp_path / "p.txt")
+        save_partition(result, path)
+        loaded = load_partition(path, small_powerlaw)
+        assert loaded.kind == "edge-cut"
+        assert np.array_equal(loaded.vertex_parts, result.vertex_parts)
+
+    def test_wrong_graph_rejected(self, tmp_path, small_powerlaw):
+        result = EBVPartitioner().partition(small_powerlaw, 4)
+        path = str(tmp_path / "p.txt")
+        save_partition(result, path)
+        other = powerlaw_graph(500, eta=2.5, seed=99)
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_partition(path, other)
+
+    def test_non_partition_file_rejected(self, tmp_path, small_powerlaw):
+        path = tmp_path / "junk.txt"
+        path.write_text("0 1\n1 2\n")
+        with pytest.raises(ValueError, match="not a repro partition"):
+            load_partition(str(path), small_powerlaw)
+
+    def test_single_edge_graph(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        result = EBVPartitioner().partition(g, 1)
+        path = str(tmp_path / "p.txt")
+        save_partition(result, path)
+        loaded = load_partition(path, g)
+        assert loaded.edge_parts.tolist() == [0]

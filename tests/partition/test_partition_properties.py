@@ -1,0 +1,121 @@
+"""Property-based tests: invariants every partitioner must uphold."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.partition import (
+    CVCPartitioner,
+    DBHPartitioner,
+    EBVPartitioner,
+    GingerPartitioner,
+    MetisLikePartitioner,
+    NEPartitioner,
+    VERTEX_CUT,
+    edge_imbalance_factor,
+    replication_factor,
+    theorem1_edge_imbalance_bound,
+    theorem2_vertex_imbalance_bound,
+    vertex_imbalance_factor,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    min_size=1,
+    max_size=80,
+)
+num_parts = st.integers(1, 6)
+
+VERTEX_CUT_CLASSES = [
+    EBVPartitioner,
+    DBHPartitioner,
+    CVCPartitioner,
+    GingerPartitioner,
+    NEPartitioner,
+]
+
+
+@pytest.mark.parametrize("cls", VERTEX_CUT_CLASSES)
+@given(edges=edge_lists, p=num_parts)
+@settings(max_examples=25, deadline=None)
+def test_vertex_cut_is_true_partition_of_edges(cls, edges, p):
+    g = Graph.from_edges(edges, num_vertices=16)
+    r = cls().partition(g, p)
+    assert r.kind == VERTEX_CUT
+    assert r.edge_parts.shape[0] == g.num_edges
+    assert np.all((r.edge_parts >= 0) & (r.edge_parts < p))
+    # Subgraph edge sets are disjoint and cover E.
+    assert int(r.edge_counts().sum()) == g.num_edges
+
+
+@pytest.mark.parametrize("cls", VERTEX_CUT_CLASSES)
+@given(edges=edge_lists, p=num_parts)
+@settings(max_examples=25, deadline=None)
+def test_replication_factor_at_least_one(cls, edges, p):
+    g = Graph.from_edges(edges, num_vertices=16)
+    r = cls().partition(g, p)
+    covered = np.unique(np.concatenate([g.src, g.dst])).size
+    assert r.vertex_counts().sum() >= covered
+    assert replication_factor(r) * g.num_vertices >= covered
+
+
+@given(edges=edge_lists, p=num_parts)
+@settings(max_examples=25, deadline=None)
+def test_metis_partitions_vertices(edges, p):
+    g = Graph.from_edges(edges, num_vertices=16)
+    r = MetisLikePartitioner().partition(g, p)
+    assert r.vertex_parts.shape[0] == g.num_vertices
+    assert np.all((r.vertex_parts >= 0) & (r.vertex_parts < p))
+    assert int(r.vertex_counts().sum()) == g.num_vertices
+
+
+@given(
+    edges=edge_lists,
+    p=num_parts,
+    alpha=st.floats(0.25, 4.0),
+    beta=st.floats(0.25, 4.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_theorem_bounds_hold_for_ebv(edges, p, alpha, beta):
+    """Theorems 1 and 2: EBV never exceeds the proved imbalance bounds."""
+    g = Graph.from_edges(edges, num_vertices=16)
+    r = EBVPartitioner(alpha=alpha, beta=beta).partition(g, p)
+    bound1 = theorem1_edge_imbalance_bound(
+        g.num_edges, g.num_vertices, p, alpha, beta
+    )
+    assert edge_imbalance_factor(r) <= bound1 + 1e-9
+    covered = int(r.vertex_counts().sum())
+    bound2 = theorem2_vertex_imbalance_bound(
+        g.num_vertices, covered, p, alpha, beta
+    )
+    assert vertex_imbalance_factor(r) <= bound2 + 1e-9
+
+
+@given(edges=edge_lists, p=st.integers(2, 6))
+@settings(max_examples=25, deadline=None)
+def test_ebv_replication_bounded_by_parts(edges, p):
+    g = Graph.from_edges(edges, num_vertices=16)
+    r = EBVPartitioner().partition(g, p)
+    assert 1.0 <= replication_factor(r) * g.num_vertices / max(
+        np.unique(np.concatenate([g.src, g.dst])).size, 1
+    ) <= p
+
+
+@given(edges=edge_lists, p=num_parts, seed=st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_ebv_sort_orders_all_valid(edges, p, seed):
+    g = Graph.from_edges(edges, num_vertices=16)
+    for order in ("ascending", "descending", "random", "input"):
+        r = EBVPartitioner(sort_order=order, seed=seed).partition(g, p)
+        assert int(r.edge_counts().sum()) == g.num_edges
+
+
+@given(edges=edge_lists)
+@settings(max_examples=25, deadline=None)
+def test_ne_edge_capacity_never_exceeded(edges):
+    g = Graph.from_edges(edges, num_vertices=16)
+    p = 4
+    r = NEPartitioner().partition(g, p)
+    capacity = -(-g.num_edges // p)  # ceil
+    assert r.edge_counts().max() <= capacity + 1

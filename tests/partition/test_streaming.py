@@ -1,0 +1,104 @@
+"""Unit tests for the streaming and sharded EBV extensions."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.partition import (
+    EBVPartitioner,
+    ShardedEBVPartitioner,
+    StreamingEBVPartitioner,
+    edge_imbalance_factor,
+    replication_factor,
+    vertex_imbalance_factor,
+)
+
+
+class TestStreamingEBV:
+    def test_every_edge_assigned(self, small_powerlaw):
+        r = StreamingEBVPartitioner().partition(small_powerlaw, 8)
+        assert np.all((r.edge_parts >= 0) & (r.edge_parts < 8))
+        assert int(r.edge_counts().sum()) == small_powerlaw.num_edges
+
+    def test_single_part(self, small_powerlaw):
+        r = StreamingEBVPartitioner().partition(small_powerlaw, 1)
+        assert np.all(r.edge_parts == 0)
+
+    def test_balanced(self, small_powerlaw):
+        r = StreamingEBVPartitioner().partition(small_powerlaw, 8)
+        assert edge_imbalance_factor(r) < 1.25
+        assert vertex_imbalance_factor(r) < 1.25
+
+    def test_close_to_offline_ebv(self, small_powerlaw):
+        """One-pass streaming pays a bounded replication premium."""
+        offline = EBVPartitioner().partition(small_powerlaw, 8)
+        streaming = StreamingEBVPartitioner(chunk_size=2048).partition(
+            small_powerlaw, 8
+        )
+        assert replication_factor(streaming) < 1.5 * replication_factor(offline)
+
+    def test_bigger_window_helps_or_ties(self, small_powerlaw):
+        tiny = StreamingEBVPartitioner(chunk_size=1).partition(small_powerlaw, 8)
+        wide = StreamingEBVPartitioner(chunk_size=4096).partition(small_powerlaw, 8)
+        assert replication_factor(wide) <= replication_factor(tiny) + 0.15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StreamingEBVPartitioner(chunk_size=0)
+        with pytest.raises(ValueError):
+            StreamingEBVPartitioner(alpha=0)
+
+    def test_deterministic(self, small_powerlaw):
+        a = StreamingEBVPartitioner().partition(small_powerlaw, 4)
+        b = StreamingEBVPartitioner().partition(small_powerlaw, 4)
+        assert np.array_equal(a.edge_parts, b.edge_parts)
+
+    def test_self_loops(self):
+        g = Graph.from_edges([(0, 0), (0, 1), (1, 1)], num_vertices=2)
+        r = StreamingEBVPartitioner().partition(g, 2)
+        assert int(r.edge_counts().sum()) == 3
+
+
+class TestShardedEBV:
+    def test_every_edge_assigned(self, small_powerlaw):
+        r = ShardedEBVPartitioner(num_shards=4).partition(small_powerlaw, 8)
+        assert np.all((r.edge_parts >= 0) & (r.edge_parts < 8))
+        assert int(r.edge_counts().sum()) == small_powerlaw.num_edges
+
+    def test_single_shard_matches_spirit_of_sequential(self, small_powerlaw):
+        """1 shard with huge sync interval == sequential EBV exactly."""
+        seq = EBVPartitioner().partition(small_powerlaw, 4)
+        sharded = ShardedEBVPartitioner(
+            num_shards=1, sync_interval=10**9
+        ).partition(small_powerlaw, 4)
+        assert replication_factor(sharded) == pytest.approx(
+            replication_factor(seq), rel=0.02
+        )
+
+    def test_staleness_costs_replication(self, small_powerlaw):
+        fresh = ShardedEBVPartitioner(num_shards=4, sync_interval=32).partition(
+            small_powerlaw, 8
+        )
+        stale = ShardedEBVPartitioner(
+            num_shards=4, sync_interval=100_000
+        ).partition(small_powerlaw, 8)
+        assert replication_factor(fresh) <= replication_factor(stale) + 0.05
+
+    def test_balanced(self, small_powerlaw):
+        r = ShardedEBVPartitioner(num_shards=4).partition(small_powerlaw, 8)
+        assert edge_imbalance_factor(r) < 1.3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ShardedEBVPartitioner(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedEBVPartitioner(sync_interval=0)
+
+    def test_deterministic(self, small_powerlaw):
+        a = ShardedEBVPartitioner().partition(small_powerlaw, 4)
+        b = ShardedEBVPartitioner().partition(small_powerlaw, 4)
+        assert np.array_equal(a.edge_parts, b.edge_parts)
+
+    def test_unsorted_variant(self, small_powerlaw):
+        r = ShardedEBVPartitioner(sort_edges=False).partition(small_powerlaw, 4)
+        assert int(r.edge_counts().sum()) == small_powerlaw.num_edges

@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import powerlaw_graph, write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    g = powerlaw_graph(300, eta=2.2, min_degree=2, seed=1, name="cli")
+    path = str(tmp_path / "cli.txt")
+    write_edge_list(g, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "g.txt"])
+        assert args.method == "ebv"
+        assert args.parts == 8
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "g.txt", "--method", "bogus"])
+
+
+class TestGenerate:
+    def test_powerlaw(self, tmp_path, capsys):
+        out = str(tmp_path / "g.txt")
+        assert main(["generate", out, "--vertices", "200", "--seed", "3"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["stats", out]) == 0
+
+    def test_road(self, tmp_path, capsys):
+        out = str(tmp_path / "road.txt")
+        assert main(["generate", out, "--kind", "road", "--vertices", "100"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rmat(self, tmp_path):
+        out = str(tmp_path / "rmat.txt")
+        assert main(["generate", out, "--kind", "rmat", "--vertices", "256"]) == 0
+
+    def test_er(self, tmp_path):
+        out = str(tmp_path / "er.txt")
+        assert main(["generate", out, "--kind", "er", "--vertices", "100"]) == 0
+
+
+class TestStats:
+    def test_prints_table(self, edge_file, capsys):
+        assert main(["stats", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "AvgDeg" in out and "eta" in out
+
+
+class TestPartition:
+    @pytest.mark.parametrize("method", ["ebv", "dbh", "ne", "metis", "hdrf"])
+    def test_methods(self, edge_file, capsys, method):
+        assert main(["partition", edge_file, "--method", method, "--parts", "4"]) == 0
+        assert "RF" in capsys.readouterr().out
+
+    def test_refine_flag(self, edge_file, capsys):
+        assert main(["partition", edge_file, "--refine"]) == 0
+        assert "+refine" in capsys.readouterr().out
+
+    def test_output_file(self, edge_file, tmp_path, capsys):
+        out = str(tmp_path / "parts.txt")
+        assert main(["partition", edge_file, "--output", out, "--parts", "4"]) == 0
+        parts = np.loadtxt(out, dtype=int)
+        assert parts.min() >= 0 and parts.max() < 4
+
+
+class TestRun:
+    def test_cc(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "CC", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Supersteps" in out and "Messages" in out
+
+    def test_sssp_reports_reach(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "SSSP", "--workers", "4"]) == 0
+        assert "reached" in capsys.readouterr().out
+
+    def test_pr(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "PR", "--method", "dbh"]) == 0
+        assert "PR" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5", "--scale", "0.1"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
