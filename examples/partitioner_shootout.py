@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Partitioner shoot-out: Table III/IV metrics on a graph of your choice.
 
-Loads a SNAP-style edge list if a path is given, otherwise generates a
-Friendster-flavoured power-law graph, then scores all six partition
-algorithms on the paper's three metrics plus measured CC messages.
+Scores every partitioner in the registry — the paper's six plus the
+streaming/sharded EBV variants and the extension baselines — on the
+three Section III-C metrics plus measured CC messages.  Loads a
+SNAP-style edge list if a path is given, otherwise generates a
+Friendster-flavoured power-law graph.
 
 Run:  python examples/partitioner_shootout.py [edge_list.txt] [num_parts]
 """
@@ -11,10 +13,8 @@ Run:  python examples/partitioner_shootout.py [edge_list.txt] [num_parts]
 import sys
 
 from repro.analysis import format_sci, render_table
-from repro.apps import ConnectedComponents
-from repro.bsp import BSPEngine, build_distributed_graph
 from repro.graph import powerlaw_graph, read_edge_list
-from repro.partition import PAPER_PARTITIONERS, partition_metrics
+from repro.pipeline import PARTITIONERS, Pipeline
 
 
 def main() -> None:
@@ -30,15 +30,19 @@ def main() -> None:
         f"p={num_parts}\n"
     )
 
-    engine = BSPEngine()
     rows = []
-    for name, cls in PAPER_PARTITIONERS.items():
-        result = cls().partition(graph, num_parts)
-        m = partition_metrics(result)
-        run = engine.run(build_distributed_graph(result), ConnectedComponents())
+    for method in PARTITIONERS.names():
+        result = (
+            Pipeline()
+            .source(graph)
+            .partition(method, parts=num_parts)
+            .run("cc")
+            .execute()
+        )
+        m, run = result.metrics, result.run
         rows.append(
             (
-                name,
+                method,
                 f"{m.edge_imbalance:.2f}",
                 f"{m.vertex_imbalance:.2f}",
                 f"{m.replication:.2f}",

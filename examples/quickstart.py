@@ -1,47 +1,44 @@
 #!/usr/bin/env python
 """Quickstart: partition a power-law graph with EBV and run CC on it.
 
-Walks the whole public API in ~40 lines:
+Walks the unified pipeline API in ~30 lines:
 
-1. generate a power-law graph,
-2. partition it with EBV (and inspect the partition metrics),
-3. build the distributed graph and run Connected Components on the
-   subgraph-centric BSP engine,
-4. read off the platform-independent statistics the paper reports.
+1. compose generate -> partition -> run with the fluent builder,
+2. execute it and read off the platform-independent statistics the
+   paper reports,
+3. serialize the exact same run to a JSON spec you could hand to
+   ``python -m repro pipeline``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.graph import powerlaw_graph
-from repro.partition import EBVPartitioner, partition_metrics
-from repro.bsp import BSPEngine, build_distributed_graph
-from repro.apps import ConnectedComponents
+from repro.pipeline import Pipeline
 
 
 def main() -> None:
-    # 1. A Twitter-flavoured graph: heavy-tailed degrees (eta ~ 1.9).
-    graph = powerlaw_graph(
-        5000, eta=1.9, min_degree=3, directed=True, seed=1, name="demo"
+    # A Twitter-flavoured graph: heavy-tailed degrees (eta ~ 1.9),
+    # partitioned into 8 subgraphs with the paper's algorithm, then
+    # Connected Components on the simulated cluster.
+    pipeline = (
+        Pipeline()
+        .source("powerlaw?vertices=5000,eta=1.9,min_degree=3,directed=true,seed=1,name=demo")
+        .partition("ebv", parts=8, alpha=1.0, beta=1.0)
+        .run("cc")
     )
-    print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
+    result = pipeline.execute()
 
-    # 2. Partition into 8 subgraphs with the paper's algorithm.
-    result = EBVPartitioner(alpha=1.0, beta=1.0).partition(graph, 8)
-    m = partition_metrics(result)
+    graph, m, run = result.graph, result.metrics, result.run
+    print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
     print(
         f"EBV partition: edge imbalance {m.edge_imbalance:.3f}, "
         f"vertex imbalance {m.vertex_imbalance:.3f}, "
         f"replication factor {m.replication:.3f}"
     )
 
-    # 3. Execute Connected Components on the simulated cluster.
-    dgraph = build_distributed_graph(result)
-    run = BSPEngine().run(dgraph, ConnectedComponents())
-    run.partition_method = "EBV"
-
-    # 4. Inspect what the paper measures.
+    # Inspect what the paper measures; the run is born labeled with the
+    # partition method that produced its distributed graph.
     num_components = len(set(run.values.tolist()))
-    print(f"CC finished in {run.num_supersteps} supersteps")
+    print(f"CC finished in {run.num_supersteps} supersteps under {run.partition_method}")
     print(f"components found: {num_components}")
     print(f"total messages: {run.total_messages}")
     print(f"message max/mean ratio: {run.message_max_mean_ratio:.3f}")
@@ -49,6 +46,10 @@ def main() -> None:
         f"modeled time: comp {run.comp:.4f}s + comm {run.comm:.4f}s, "
         f"dC {run.delta_c:.4f}s, execution {run.execution_time:.4f}s"
     )
+
+    # The whole run as one JSON document (batch sweeps, serving, CI).
+    print("\nequivalent spec for `python -m repro pipeline`:")
+    print(pipeline.spec().to_json())
 
 
 if __name__ == "__main__":

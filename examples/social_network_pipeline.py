@@ -4,48 +4,55 @@
 The scenario from the paper's introduction: a social graph (Twitter-like
 degree skew) analyzed with PageRank for influence and CC for community
 reachability — and the partitioning choice decides the communication
-bill.  This example runs the same workload under all six partition
-algorithms and prints the trade-off table so you can see the EBV effect
-on *your* machine.
+bill.  This example sweeps the paper's six partition algorithms through
+the pipeline API, then drops one level to run the second app on the
+already-routed distributed graph (no re-partitioning), and prints the
+trade-off table so you can see the EBV effect on *your* machine.
 
 Run:  python examples/social_network_pipeline.py
 """
 
 from repro.analysis import render_table
-from repro.apps import ConnectedComponents, PageRank
-from repro.bsp import BSPEngine, build_distributed_graph
-from repro.graph import powerlaw_graph
-from repro.partition import PAPER_PARTITIONERS, partition_metrics
+from repro.bsp import BSPEngine
+from repro.experiments import PAPER_METHOD_SPECS
+from repro.pipeline import APPS, GENERATORS, Pipeline
+
+SOURCE = "powerlaw?vertices=8000,eta=2.0,min_degree=4,directed=true,seed=11,name=social"
+WORKERS = 16
 
 
 def main() -> None:
-    graph = powerlaw_graph(
-        8000, eta=2.0, min_degree=4, directed=True, seed=11, name="social"
-    )
-    workers = 16
+    graph = GENERATORS.create(SOURCE)
     print(
         f"social graph: |V|={graph.num_vertices} |E|={graph.num_edges}, "
-        f"{workers} workers\n"
+        f"{WORKERS} workers\n"
     )
 
     engine = BSPEngine()
     rows = []
-    for name, cls in PAPER_PARTITIONERS.items():
-        result = cls().partition(graph, workers)
-        metrics = partition_metrics(result)
-        dgraph = build_distributed_graph(result)
-
-        cc = engine.run(dgraph, ConnectedComponents())
-        pr = engine.run(dgraph, PageRank(graph.num_vertices, max_iters=15))
-
+    ebv_pagerank = None
+    for display, method in PAPER_METHOD_SPECS:
+        # One pipeline per method: partition once, run CC through it ...
+        cc = (
+            Pipeline()
+            .source(graph)
+            .partition(method, parts=WORKERS)
+            .run("cc")
+            .execute()
+        )
+        # ... then reuse the routed distributed graph for PageRank.
+        pr = engine.run(cc.distributed, APPS.create("pr?pagerank_iters=15", graph))
+        if display == "EBV":
+            ebv_pagerank = pr
+        m = cc.metrics
         rows.append(
             (
-                name,
-                f"{metrics.replication:.2f}",
-                f"{metrics.edge_imbalance:.2f}",
-                f"{cc.total_messages}",
+                display,
+                f"{m.replication:.2f}",
+                f"{m.edge_imbalance:.2f}",
+                f"{cc.run.total_messages}",
                 f"{pr.total_messages}",
-                f"{cc.execution_time + pr.execution_time:.4f}",
+                f"{cc.run.execution_time + pr.execution_time:.4f}",
             )
         )
 
@@ -57,15 +64,11 @@ def main() -> None:
         )
     )
 
-    # Top influencers according to the distributed PageRank.
-    result = PAPER_PARTITIONERS["EBV"]().partition(graph, workers)
-    run = engine.run(
-        build_distributed_graph(result), PageRank(graph.num_vertices, max_iters=15)
-    )
-    top = run.values.argsort()[::-1][:5]
+    # Top influencers according to the distributed PageRank under EBV.
+    top = ebv_pagerank.values.argsort()[::-1][:5]
     print("\ntop-5 influencers (vertex: rank):")
     for v in top:
-        print(f"  {v}: {run.values[v]:.6f}")
+        print(f"  {v}: {ebv_pagerank.values[v]:.6f}")
 
 
 if __name__ == "__main__":

@@ -5,11 +5,38 @@ Power-law Graphs" (EBV, ICDCS 2021).
 Public API tour
 ---------------
 
+The pipeline front door (:mod:`repro.pipeline`) — compose a whole run
+fluently, or run it from one JSON document::
+
+    from repro.pipeline import Pipeline, PipelineSpec, run_spec
+
+    result = (
+        Pipeline()
+        .source("powerlaw?vertices=10000,eta=2.2")
+        .partition("ebv", parts=8)
+        .refine()
+        .run("pagerank")
+        .execute()
+    )
+    print(result.to_json())          # graph + partition + run + timings
+
+    spec = PipelineSpec.from_dict({"source": "powerlaw?vertices=10000",
+                                   "partition": "ebv", "parts": 8,
+                                   "app": "cc"})
+    same = run_spec(spec)            # identical result, spec-driven
+
+Every pluggable component is addressable by spec string through the
+registries (:mod:`repro.pipeline.registries`)::
+
+    from repro.pipeline import PARTITIONERS, APPS, GENERATORS
+    PARTITIONERS.create("ebv?alpha=2,sort_order=input")
+    APPS.names()     # ('bfs', 'cc', 'featprop', 'kcore', 'pr', 'sssp')
+
 Graphs (:mod:`repro.graph`)::
 
-    from repro.graph import Graph, powerlaw_graph, road_network
+    from repro.graph import Graph, generate_graph, powerlaw_graph
 
-Partitioning (:mod:`repro.partition`) — EBV plus the five baselines::
+Partitioning (:mod:`repro.partition`) — EBV plus the baselines::
 
     from repro.partition import EBVPartitioner, partition_metrics
     result = EBVPartitioner().partition(graph, num_parts=8)
@@ -19,15 +46,16 @@ Execution (:mod:`repro.bsp` + :mod:`repro.apps`)::
     from repro.bsp import build_distributed_graph, BSPEngine
     from repro.apps import ConnectedComponents
     run = BSPEngine().run(build_distributed_graph(result), ConnectedComponents())
+    # run.partition_method is inherited from the partition result
 
 Experiments (:mod:`repro.experiments`) — every paper table and figure::
 
     from repro.experiments import run_table1, run_fig2, run_tables345
 """
 
-from . import analysis, apps, bsp, experiments, frameworks, graph, partition
+from . import analysis, apps, bsp, experiments, frameworks, graph, partition, pipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -37,5 +65,6 @@ __all__ = [
     "frameworks",
     "graph",
     "partition",
+    "pipeline",
     "__version__",
 ]

@@ -2,7 +2,11 @@
 
 from .bfs import BFS
 from .cc import ConnectedComponents
-from .feature_propagation import FeaturePropagation, feature_propagation_reference
+from .feature_propagation import (
+    FeaturePropagation,
+    deterministic_features,
+    feature_propagation_reference,
+)
 from .kcore import KCore, kcore_reference
 from .pagerank import PageRank
 from .reference import bfs_reference, cc_reference, pagerank_reference, sssp_reference
@@ -12,6 +16,7 @@ __all__ = [
     "BFS",
     "ConnectedComponents",
     "FeaturePropagation",
+    "deterministic_features",
     "feature_propagation_reference",
     "KCore",
     "kcore_reference",

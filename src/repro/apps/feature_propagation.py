@@ -26,7 +26,22 @@ from ..bsp.distributed import LocalSubgraph
 from ..bsp.program import ACCUMULATE, ComputeResult, SubgraphProgram
 from ..graph import Graph
 
-__all__ = ["FeaturePropagation", "feature_propagation_reference"]
+__all__ = [
+    "FeaturePropagation",
+    "deterministic_features",
+    "feature_propagation_reference",
+]
+
+
+def deterministic_features(graph: Graph, dims: int = 8, seed: int = 0) -> np.ndarray:
+    """Seeded standard-normal ``(|V|, dims)`` feature matrix.
+
+    Lets feature propagation be launched from a name-only spec (CLI,
+    pipeline JSON) where no caller-supplied feature matrix exists, while
+    keeping runs reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(graph.num_vertices, int(dims)))
 
 
 class FeaturePropagation(SubgraphProgram):

@@ -140,6 +140,9 @@ class DistributedGraph:
     up_routes: Dict[Tuple[int, int], _Route] = field(default_factory=dict)
     #: master→mirror routes: ``down_routes[(w_master, w_mirror)]``
     down_routes: Dict[Tuple[int, int], _Route] = field(default_factory=dict)
+    #: name of the partition algorithm that produced this layout; every
+    #: :class:`~repro.bsp.engine.BSPRun` executed here is labeled with it.
+    partition_method: str = "?"
 
     def replication_factor(self) -> float:
         """Σ local vertex counts over |V| — sanity hook for tests."""
@@ -269,7 +272,9 @@ def build_distributed_graph(result: PartitionResult) -> DistributedGraph:
         )
         local_index_of.append(index)
 
-    dg = DistributedGraph(graph=graph, num_workers=p, locals=locals_)
+    dg = DistributedGraph(
+        graph=graph, num_workers=p, locals=locals_, partition_method=result.method
+    )
 
     # Build pairwise routes from each mirror to its master and back.
     pair_src: Dict[Tuple[int, int], List[int]] = {}

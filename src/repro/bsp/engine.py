@@ -164,7 +164,7 @@ class BSPEngine:
         active = [program.initial_active(l) for l in dgraph.locals]
         run = BSPRun(
             program=program.name,
-            partition_method="?",
+            partition_method=dgraph.partition_method,
             graph_name=dgraph.graph.name,
             num_workers=p,
         )
@@ -237,7 +237,7 @@ class BSPEngine:
         values = [program.initial_values(l) for l in dgraph.locals]
         run = BSPRun(
             program=program.name,
-            partition_method="?",
+            partition_method=dgraph.partition_method,
             graph_name=dgraph.graph.name,
             num_workers=p,
         )

@@ -5,88 +5,87 @@ Commands
 ``generate``   write a synthetic graph to an edge-list file
 ``stats``      print the Table I statistics row for an edge list
 ``partition``  partition an edge list and print Section III-C metrics
-``run``        execute CC/PR/SSSP/BFS on a partitioned graph
+``run``        execute any registered app on a partitioned graph
+``pipeline``   execute a full JSON pipeline spec (see below)
 ``experiment`` regenerate one of the paper's tables/figures
 
 Every command prints human-readable text to stdout; ``partition`` can
-additionally persist the per-edge assignment for external tooling.
+additionally persist the per-edge assignment, and ``pipeline --json``
+emits the machine-readable :class:`~repro.pipeline.PipelineResult`.
+
+Component lookups all go through :mod:`repro.pipeline.registries`, so
+the ``--method``/``--app``/``experiment`` choices can never drift from
+the implementations that actually exist.  Methods and apps accept full
+spec strings with constructor kwargs, e.g.::
+
+    python -m repro partition graph.txt --method "ebv?alpha=2,sort_order=input"
+    python -m repro run graph.txt --app "pr?pagerank_iters=10"
+
+Pipeline specs
+--------------
+``python -m repro pipeline spec.json`` executes one serialized run —
+generate/load, partition, optionally refine, execute, report.  A spec is
+a single JSON object::
+
+    {
+      "source": "powerlaw?vertices=10000,eta=2.2",
+      "partition": "ebv?alpha=1.0",
+      "parts": 8,
+      "refine": true,
+      "app": "pagerank",
+      "cost_model": {"seconds_per_message": 2e-7}
+    }
+
+``source`` may also be ``"file?path=graph.txt"``.  The same document
+round-trips through :class:`repro.pipeline.PipelineSpec` and the fluent
+:class:`repro.pipeline.Pipeline` builder.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from typing import List, Optional
 
 import numpy as np
 
 from .analysis import breakdown_row, render_table
 from .apps import default_source
-from .bsp import BSPEngine, build_distributed_graph
-from .experiments import (
-    default_config,
-    generate_report,
-    run_breakdown,
-    run_fig2,
-    run_fig3,
-    run_fig5,
-    run_table1,
-    run_tables345,
+from .experiments import default_config
+from .graph import generate_graph, graph_stats, read_edge_list, write_edge_list
+from .partition import save_partition
+from .pipeline import (
+    Pipeline,
+    PipelineSpec,
+    RegistryError,
+    SpecError,
+    parse_spec,
+    run_spec,
 )
-from .frameworks import make_program
-from .graph import (
-    erdos_renyi,
-    graph_stats,
-    powerlaw_graph,
-    read_edge_list,
-    rmat,
-    road_network,
-    write_edge_list,
-)
-from .partition import (
-    CVCPartitioner,
-    DBHPartitioner,
-    EBVPartitioner,
-    FennelPartitioner,
-    GingerPartitioner,
-    HDRFPartitioner,
-    MetisLikePartitioner,
-    NEPartitioner,
-    ShardedEBVPartitioner,
-    StreamingEBVPartitioner,
-    partition_metrics,
-    refine_vertex_cut,
-    save_partition,
-)
+from .pipeline import registries
 
 __all__ = ["main", "build_parser"]
 
-PARTITIONERS = {
-    "ebv": EBVPartitioner,
-    "ebv-unsort": lambda: EBVPartitioner(sort_order="input"),
-    "ebv-stream": StreamingEBVPartitioner,
-    "ebv-sharded": ShardedEBVPartitioner,
-    "ginger": GingerPartitioner,
-    "dbh": DBHPartitioner,
-    "cvc": CVCPartitioner,
-    "ne": NEPartitioner,
-    "metis": MetisLikePartitioner,
-    "hdrf": HDRFPartitioner,
-    "fennel": FennelPartitioner,
-}
 
-EXPERIMENTS = {
-    "table1": lambda cfg: run_table1(cfg)[1],
-    "table2": lambda cfg: run_breakdown(cfg)[2],
-    "fig4": lambda cfg: run_breakdown(cfg)[3],
-    "table3": lambda cfg: run_tables345(cfg)[1],
-    "table4": lambda cfg: run_tables345(cfg)[2],
-    "table5": lambda cfg: run_tables345(cfg)[3],
-    "fig2": lambda cfg: run_fig2(cfg)[1],
-    "fig3": lambda cfg: run_fig3(cfg)[1],
-    "fig5": lambda cfg: run_fig5(cfg)[1],
-    "all": lambda cfg: generate_report(cfg, include_figures=False),
-}
+def _registry_arg(registry):
+    """argparse ``type`` validating a component spec against a registry.
+
+    Accepts full spec strings (``"ebv?alpha=2"``); rejects unknown names
+    at parse time with the registry's self-documenting message.
+    """
+
+    def validate(value: str) -> str:
+        try:
+            name, _ = parse_spec(value)
+            registry.canonical(name)
+        except RegistryError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return value
+
+    validate.__name__ = f"{registry.kind}-spec"
+    return validate
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,11 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    generator_kinds = tuple(
+        k for k in registries.GENERATORS.names() if k != "file"
+    )
     gen = sub.add_parser("generate", help="generate a synthetic graph")
     gen.add_argument("output", help="edge-list file to write")
-    gen.add_argument(
-        "--kind", choices=("powerlaw", "road", "rmat", "er"), default="powerlaw"
-    )
+    gen.add_argument("--kind", choices=generator_kinds, default="powerlaw")
     gen.add_argument("--vertices", type=int, default=10_000)
     gen.add_argument("--eta", type=float, default=2.2)
     gen.add_argument("--min-degree", type=int, default=3)
@@ -110,45 +110,59 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print Table I statistics")
     stats.add_argument("input", help="edge-list file")
 
+    method_help = (
+        "partitioner spec (name plus optional kwargs, e.g. 'ebv?alpha=2'); "
+        f"available: {', '.join(registries.PARTITIONERS.names())}"
+    )
     part = sub.add_parser("partition", help="partition a graph")
     part.add_argument("input", help="edge-list file")
-    part.add_argument("--method", choices=sorted(PARTITIONERS), default="ebv")
+    part.add_argument(
+        "--method",
+        type=_registry_arg(registries.PARTITIONERS),
+        default="ebv",
+        help=method_help,
+    )
     part.add_argument("--parts", type=int, default=8)
     part.add_argument("--refine", action="store_true", help="apply the post-pass")
     part.add_argument("--output", help="write per-edge part ids here")
 
     run = sub.add_parser("run", help="run an application on a partitioned graph")
     run.add_argument("input", help="edge-list file")
-    run.add_argument("--app", choices=("CC", "PR", "SSSP"), default="CC")
-    run.add_argument("--method", choices=sorted(PARTITIONERS), default="ebv")
+    run.add_argument(
+        "--app",
+        type=_registry_arg(registries.APPS),
+        default="CC",
+        help=(
+            "application spec (e.g. 'pr?pagerank_iters=10'); "
+            f"available: {', '.join(registries.APPS.names())}"
+        ),
+    )
+    run.add_argument(
+        "--method",
+        type=_registry_arg(registries.PARTITIONERS),
+        default="ebv",
+        help=method_help,
+    )
     run.add_argument("--workers", type=int, default=8)
-    run.add_argument("--source", type=int, default=None, help="SSSP source")
+    run.add_argument("--source", type=int, default=None, help="SSSP/BFS source")
+
+    pipe = sub.add_parser("pipeline", help="execute a JSON pipeline spec")
+    pipe.add_argument("spec", help="path to a JSON spec file, or '-' for stdin")
+    pipe.add_argument(
+        "--json", action="store_true", help="print the machine-readable result JSON"
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
-    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("name", choices=registries.EXPERIMENTS.names())
     exp.add_argument("--scale", type=float, default=None)
     return parser
 
 
 def _cmd_generate(args) -> int:
+    opts = {"vertices": args.vertices, "seed": args.seed, "directed": args.directed}
     if args.kind == "powerlaw":
-        g = powerlaw_graph(
-            args.vertices,
-            eta=args.eta,
-            min_degree=args.min_degree,
-            directed=args.directed,
-            seed=args.seed,
-        )
-    elif args.kind == "road":
-        side = max(2, int(np.sqrt(args.vertices)))
-        g = road_network(side, side, seed=args.seed)
-    elif args.kind == "rmat":
-        scale = max(2, int(np.log2(max(args.vertices, 4))))
-        g = rmat(scale, seed=args.seed, directed=args.directed)
-    else:
-        g = erdos_renyi(
-            args.vertices, args.vertices * 8, directed=args.directed, seed=args.seed
-        )
+        opts.update(eta=args.eta, min_degree=args.min_degree)
+    g = generate_graph(args.kind, **opts)
     write_edge_list(g, args.output)
     print(f"wrote {g.num_edges} edges over {g.num_vertices} vertices to {args.output}")
     return 0
@@ -169,10 +183,18 @@ def _cmd_stats(args) -> int:
 
 def _cmd_partition(args) -> int:
     g = read_edge_list(args.input)
-    result = PARTITIONERS[args.method]().partition(g, args.parts)
-    if args.refine:
-        result = refine_vertex_cut(result)
-    m = partition_metrics(result)
+    try:
+        result = (
+            Pipeline()
+            .source(g)
+            .partition(args.method, parts=args.parts)
+            .refine(args.refine)
+            .execute()
+        )
+    except (SpecError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    m = result.metrics
     print(
         render_table(
             ["Method", "Parts", "EdgeImb", "VertImb", "RF"],
@@ -181,32 +203,90 @@ def _cmd_partition(args) -> int:
         )
     )
     if args.output:
-        save_partition(result, args.output)
+        save_partition(result.partition, args.output)
         print(f"partition written to {args.output}")
     return 0
 
 
 def _cmd_run(args) -> int:
     g = read_edge_list(args.input)
-    result = PARTITIONERS[args.method]().partition(g, args.workers)
-    dgraph = build_distributed_graph(result)
-    program = make_program(args.app, g, source=args.source)
-    run = BSPEngine().run(dgraph, program)
-    run.partition_method = result.method
+    app_name = registries.APPS.canonical(parse_spec(args.app)[0])
+    overrides = {} if args.source is None else {"source": args.source}
+    try:
+        result = (
+            Pipeline()
+            .source(g)
+            .partition(args.method, parts=args.workers)
+            .run(args.app, **overrides)
+            .execute()
+        )
+    except (SpecError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = result.run
     row = breakdown_row(run)
     print(
         render_table(
             ["App", "Method", "Workers", "Supersteps", "Messages",
              "comp", "comm", "dC", "time"],
-            [(args.app, row.method, args.workers, run.num_supersteps,
+            [(app_name.upper(), row.method, args.workers, run.num_supersteps,
               run.total_messages, f"{row.comp:.4f}", f"{row.comm:.4f}",
               f"{row.delta_c:.4f}", f"{row.execution_time:.4f}")],
         )
     )
-    if args.app == "SSSP":
+    if app_name in ("sssp", "bfs"):
         reached = int(np.isfinite(run.values).sum())
         print(f"reached {reached}/{g.num_vertices} vertices from source "
               f"{args.source if args.source is not None else default_source(g)}")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read spec file: {exc}", file=sys.stderr)
+            return 2
+    try:
+        spec = PipelineSpec.from_json(text)
+        result = run_spec(spec)
+    except (SpecError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(result.to_json())
+        return 0
+    g, m = result.graph, result.metrics
+    print(f"graph: {g.name} |V|={g.num_vertices} |E|={g.num_edges}")
+    print(
+        render_table(
+            ["Method", "Parts", "EdgeImb", "VertImb", "RF"],
+            [(m.method, result.partition.num_parts, f"{m.edge_imbalance:.3f}",
+              f"{m.vertex_imbalance:.3f}", f"{m.replication:.3f}")],
+        )
+    )
+    if result.run is not None:
+        run = result.run
+        row = breakdown_row(run)
+        print(
+            render_table(
+                ["App", "Method", "Workers", "Supersteps", "Messages",
+                 "comp", "comm", "dC", "time"],
+                [(run.program, row.method, run.num_workers, run.num_supersteps,
+                  run.total_messages, f"{row.comp:.4f}", f"{row.comm:.4f}",
+                  f"{row.delta_c:.4f}", f"{row.execution_time:.4f}")],
+            )
+        )
+    print(
+        render_table(
+            ["Stage", "Seconds"],
+            [(stage, f"{seconds:.4f}") for stage, seconds in result.timings.items()],
+        )
+    )
     return 0
 
 
@@ -214,7 +294,7 @@ def _cmd_experiment(args) -> int:
     config = default_config()
     if args.scale is not None:
         config.scale = args.scale
-    print(EXPERIMENTS[args.name](config))
+    print(registries.EXPERIMENTS.get(args.name)(config))
     return 0
 
 
@@ -226,9 +306,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "partition": _cmd_partition,
         "run": _cmd_run,
+        "pipeline": _cmd_pipeline,
         "experiment": _cmd_experiment,
     }[args.command]
     return handler(args)
+
+
+_DEPRECATED_VIEWS = {
+    "PARTITIONERS": registries.PARTITIONERS,
+    "EXPERIMENTS": registries.EXPERIMENTS,
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shims: the old module-level dicts as registry views.
+
+    ``cli.PARTITIONERS`` / ``cli.EXPERIMENTS`` remain importable for
+    external tooling and the benchmark harness, but are now live
+    read-only views over :mod:`repro.pipeline.registries`.
+    """
+    if name in _DEPRECATED_VIEWS:
+        warnings.warn(
+            f"repro.cli.{name} is deprecated; use "
+            f"repro.pipeline.registries.{name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_VIEWS[name].as_view()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,7 +6,13 @@ from .ablations import (
     run_sort_order_ablation,
 )
 from .breakdown2_4 import run_breakdown
-from .config import ExperimentConfig, POWER_LAW_GRAPHS, ROAD_GRAPH, default_config
+from .config import (
+    ExperimentConfig,
+    PAPER_METHOD_SPECS,
+    POWER_LAW_GRAPHS,
+    ROAD_GRAPH,
+    default_config,
+)
 from .fig5 import run_fig5
 from .report import generate_report
 from .figures23 import run_fig2, run_fig3, sweep_panel
@@ -15,6 +21,7 @@ from .tables345 import run_tables345
 
 __all__ = [
     "ExperimentConfig",
+    "PAPER_METHOD_SPECS",
     "POWER_LAW_GRAPHS",
     "ROAD_GRAPH",
     "default_config",

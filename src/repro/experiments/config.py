@@ -20,14 +20,6 @@ from typing import Dict, List, Tuple
 
 from ..bsp import CostModel
 from ..graph import Graph, paper_graph_suite
-from ..partition import (
-    CVCPartitioner,
-    DBHPartitioner,
-    EBVPartitioner,
-    GingerPartitioner,
-    MetisLikePartitioner,
-    NEPartitioner,
-)
 from ..frameworks import (
     BlogelFramework,
     Framework,
@@ -35,7 +27,25 @@ from ..frameworks import (
     VertexCentricFramework,
 )
 
-__all__ = ["ExperimentConfig", "default_config", "POWER_LAW_GRAPHS", "ROAD_GRAPH"]
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "PAPER_METHOD_SPECS",
+    "POWER_LAW_GRAPHS",
+    "ROAD_GRAPH",
+]
+
+#: (display name, registry spec) for the paper's six partition algorithms;
+#: instances are created through :data:`repro.pipeline.registries.PARTITIONERS`
+#: so experiment sweeps use exactly the same factories as the CLI.
+PAPER_METHOD_SPECS = (
+    ("EBV", "ebv"),
+    ("Ginger", "ginger"),
+    ("DBH", "dbh"),
+    ("CVC", "cvc"),
+    ("NE", "ne"),
+    ("METIS", "metis"),
+)
 
 POWER_LAW_GRAPHS = ("livejournal", "twitter", "friendster")
 ROAD_GRAPH = "usa-road"
@@ -77,13 +87,14 @@ class ExperimentConfig:
 
     def partitioners(self):
         """Fresh instances of the paper's six partition algorithms."""
+        # Imported lazily: repro.pipeline resolves after the experiments
+        # package during ``import repro``, and registry lookups only
+        # happen at sweep time anyway.
+        from ..pipeline.registries import PARTITIONERS
+
         return {
-            "EBV": EBVPartitioner(),
-            "Ginger": GingerPartitioner(),
-            "DBH": DBHPartitioner(),
-            "CVC": CVCPartitioner(),
-            "NE": NEPartitioner(),
-            "METIS": MetisLikePartitioner(),
+            display: PARTITIONERS.create(spec)
+            for display, spec in PAPER_METHOD_SPECS
         }
 
     def frameworks(self) -> List[Framework]:

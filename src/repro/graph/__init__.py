@@ -2,8 +2,10 @@
 
 from .graph import CSRIndex, Graph
 from .generators import (
+    GENERATOR_KINDS,
     barabasi_albert,
     erdos_renyi,
+    generate_graph,
     paper_graph_suite,
     powerlaw_graph,
     rmat,
@@ -22,8 +24,10 @@ from .stats import (
 __all__ = [
     "CSRIndex",
     "Graph",
+    "GENERATOR_KINDS",
     "barabasi_albert",
     "erdos_renyi",
+    "generate_graph",
     "paper_graph_suite",
     "powerlaw_graph",
     "rmat",

@@ -35,7 +35,63 @@ __all__ = [
     "rmat",
     "erdos_renyi",
     "paper_graph_suite",
+    "GENERATOR_KINDS",
+    "generate_graph",
 ]
+
+#: kinds accepted by :func:`generate_graph` (the pipeline/CLI front door).
+GENERATOR_KINDS = ("powerlaw", "road", "rmat", "er", "ba")
+
+
+def generate_graph(
+    kind: str,
+    vertices: int = 10_000,
+    seed: int = 0,
+    directed: bool = False,
+    name: Optional[str] = None,
+    **kwargs,
+) -> Graph:
+    """Uniform front door over the synthetic generators.
+
+    Every generator is addressed by ``kind`` and sized by ``vertices``
+    (translated to the generator's native sizing: grid side for ``road``,
+    log2 scale for ``rmat``), so graph sources can be described by one
+    spec string such as ``"powerlaw?vertices=20000,eta=2.2"``.  Extra
+    keyword arguments pass through to the underlying generator;
+    ``directed`` is forwarded where it applies.
+    """
+    extra = {} if name is None else {"name": name}
+    if kind == "powerlaw":
+        opts = {"eta": 2.2, "min_degree": 3, "directed": directed, "seed": seed}
+        opts.update(extra)
+        opts.update(kwargs)
+        return powerlaw_graph(vertices, **opts)
+    if kind == "road":
+        side = max(2, int(np.sqrt(vertices)))
+        opts = {"seed": seed}
+        opts.update(extra)
+        opts.update(kwargs)
+        return road_network(side, side, **opts)
+    if kind == "rmat":
+        scale = max(2, int(np.log2(max(vertices, 4))))
+        opts = {"seed": seed, "directed": directed}
+        opts.update(extra)
+        opts.update(kwargs)
+        return rmat(scale, **opts)
+    if kind == "er":
+        opts = {"seed": seed, "directed": directed}
+        opts.update(extra)
+        opts.update(kwargs)
+        edges = opts.pop("edges", vertices * 8)
+        return erdos_renyi(vertices, edges, **opts)
+    if kind == "ba":
+        opts = {"seed": seed}
+        opts.update(extra)
+        opts.update(kwargs)
+        return barabasi_albert(vertices, **opts)
+    raise ValueError(
+        f"unknown generator kind {kind!r}; expected one of {GENERATOR_KINDS}"
+    )
 
 
 def road_network(

@@ -1,4 +1,10 @@
-"""Graph partitioners: EBV (the paper's contribution) and all baselines."""
+"""Graph partitioners: EBV (the paper's contribution) and all baselines.
+
+Algorithms are instantiated directly from this package or, preferably,
+by name through :data:`repro.pipeline.registries.PARTITIONERS` — the
+registry the CLI, the fluent pipeline builder and the experiment
+drivers all share (``PARTITIONERS.create("ebv?alpha=2")``).
+"""
 
 from .base import EDGE_CUT, VERTEX_CUT, Partitioner, PartitionResult
 from .cvc import CVCPartitioner, grid_shape

@@ -1,0 +1,49 @@
+"""Unified pipeline API: registries, fluent builder, serializable specs.
+
+This package is the single front door for composing a complete run —
+load/generate a graph, partition it, optionally refine, execute an app,
+collect metrics — from any scenario (CLI, experiments, benchmarks, a
+future server):
+
+* :mod:`repro.pipeline.registry` — the generic :class:`Registry` and the
+  ``"name?key=val,..."`` spec grammar;
+* :mod:`repro.pipeline.registries` — the concrete component registries
+  (:data:`PARTITIONERS`, :data:`APPS`, :data:`GENERATORS`,
+  :data:`EXPERIMENTS`);
+* :mod:`repro.pipeline.spec` — :class:`PipelineSpec`, a whole run as one
+  JSON document;
+* :mod:`repro.pipeline.builder` — the fluent :class:`Pipeline` builder,
+  :class:`PipelineResult` and :func:`run_spec`.
+"""
+
+from .builder import Pipeline, PipelineResult, run_spec
+from .registries import APPS, EXPERIMENTS, GENERATORS, PARTITIONERS
+from .registry import (
+    DuplicateComponentError,
+    Registry,
+    RegistryError,
+    RegistryView,
+    UnknownComponentError,
+    format_spec,
+    parse_spec,
+)
+from .spec import PipelineSpec, SpecError
+
+__all__ = [
+    "Pipeline",
+    "PipelineResult",
+    "run_spec",
+    "APPS",
+    "EXPERIMENTS",
+    "GENERATORS",
+    "PARTITIONERS",
+    "Registry",
+    "RegistryView",
+    "RegistryError",
+    "DuplicateComponentError",
+    "UnknownComponentError",
+    "parse_spec",
+    "format_spec",
+    "PipelineSpec",
+    "SpecError",
+]

@@ -1,0 +1,353 @@
+"""The fluent pipeline builder and its machine-consumable result.
+
+One front door for every scenario::
+
+    from repro.pipeline import Pipeline
+
+    result = (
+        Pipeline()
+        .source("powerlaw?vertices=10000")
+        .partition("ebv", parts=8)
+        .refine()
+        .run("pagerank")
+        .with_cost_model(seconds_per_message=2e-7)
+        .execute()
+    )
+    print(result.to_json())
+
+The same run as data::
+
+    from repro.pipeline import PipelineSpec, run_spec
+
+    spec = PipelineSpec(source="powerlaw?vertices=10000", parts=8,
+                        refine=True, app="pr")
+    result = run_spec(spec)
+
+Both paths execute identically — a fluent chain is serialized through
+:meth:`Pipeline.spec` whenever its source is spec-able — so CLI calls,
+experiment sweeps and JSON-driven batch runs cannot diverge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Optional, Union
+
+from ..bsp import (
+    BSPEngine,
+    BSPRun,
+    CostModel,
+    DistributedGraph,
+    build_distributed_graph,
+)
+from ..graph import Graph
+from ..partition import PartitionMetrics, PartitionResult, partition_metrics, refine_vertex_cut
+from .registries import APPS, GENERATORS, PARTITIONERS
+from .registry import RegistryError, format_spec, parse_spec
+from .spec import PipelineSpec, SpecError
+
+__all__ = ["Pipeline", "PipelineResult", "run_spec"]
+
+
+def _stage(label: str, thunk):
+    """Run one pipeline stage, converting configuration errors to SpecError.
+
+    Bad constructor kwargs surface as TypeError/ValueError deep inside a
+    component; re-raising them as :class:`SpecError` tagged with the
+    stage keeps ``python -m repro pipeline`` errors clean and precise.
+    """
+    try:
+        return thunk()
+    except (SpecError, RegistryError):
+        raise
+    except (TypeError, ValueError, OSError) as exc:
+        raise SpecError(f"{label} stage failed: {exc}") from exc
+
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _split_kwargs(kwargs: Dict[str, Any]):
+    """Separate spec-string-safe scalars from in-memory objects.
+
+    Scalars fold into the canonical spec string (serializable); objects
+    (e.g. a FEATPROP ``features`` array) are kept as real constructor
+    overrides — usable fluently, but not representable in a JSON spec.
+    """
+    scalars: Dict[str, Any] = {}
+    objects: Dict[str, Any] = {}
+    for key, value in kwargs.items():
+        (scalars if isinstance(value, _SCALAR_TYPES) else objects)[key] = value
+    return scalars, objects
+
+
+def _merge_spec(spec: str, kwargs: Dict[str, Any]) -> str:
+    """Fold direct kwargs into a spec string, kwargs winning on clashes."""
+    name, base = parse_spec(spec)
+    base.update(kwargs)
+    return format_spec(name, base)
+
+
+@dataclass
+class PipelineResult:
+    """Everything a finished pipeline produced, in one bundle.
+
+    ``to_dict``/``to_json`` expose the machine-readable summary (the
+    heavyweight ``graph``/``partition``/``run`` objects stay available
+    as attributes for further in-process analysis).  ``timings`` holds
+    per-stage wall-clock seconds.
+    """
+
+    graph: Graph
+    partition: PartitionResult
+    metrics: PartitionMetrics
+    run: Optional[BSPRun]
+    timings: Dict[str, float]
+    spec: Optional[PipelineSpec] = None
+    #: the routed distributed graph (built only when an app ran); kept
+    #: so callers can execute further programs without re-partitioning.
+    distributed: Optional[DistributedGraph] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary of the whole run."""
+        run_summary = None
+        if self.run is not None:
+            run_summary = {
+                "program": self.run.program,
+                "partition_method": self.run.partition_method,
+                "num_workers": self.run.num_workers,
+                "num_supersteps": self.run.num_supersteps,
+                "total_messages": self.run.total_messages,
+                "message_max_mean_ratio": self.run.message_max_mean_ratio,
+                "comp": self.run.comp,
+                "comm": self.run.comm,
+                "delta_c": self.run.delta_c,
+                "execution_time": self.run.execution_time,
+            }
+        return {
+            "spec": None if self.spec is None else self.spec.to_dict(),
+            "graph": {
+                "name": self.graph.name,
+                "num_vertices": self.graph.num_vertices,
+                "num_edges": self.graph.num_edges,
+                "directed": self.graph.directed,
+            },
+            "partition": {
+                "method": self.partition.method,
+                "kind": self.partition.kind,
+                "num_parts": self.partition.num_parts,
+                "edge_imbalance": self.metrics.edge_imbalance,
+                "vertex_imbalance": self.metrics.vertex_imbalance,
+                "replication": self.metrics.replication,
+            },
+            "run": run_summary,
+            "timings": dict(self.timings),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class Pipeline:
+    """Fluent builder: ``source -> partition [-> refine] [-> run]``.
+
+    Every stage setter returns ``self``; :meth:`execute` materializes a
+    :class:`PipelineResult`.  Stages accept either full spec strings
+    (``"ebv?alpha=2"``) or a bare name plus kwargs (``"ebv", alpha=2``);
+    both normalize to the same canonical spec.
+    """
+
+    def __init__(self) -> None:
+        self._source: Union[str, Graph, None] = None
+        self._source_overrides: Dict[str, Any] = {}
+        self._partition_spec: str = "ebv"
+        self._partition_overrides: Dict[str, Any] = {}
+        self._parts: int = 8
+        self._refine: bool = False
+        self._refine_options: Dict[str, Any] = {}
+        self._app_spec: Optional[str] = None
+        self._app_overrides: Dict[str, Any] = {}
+        self._cost_model: Optional[CostModel] = None
+
+    # ------------------------------------------------------------------
+    # Stage setters
+    # ------------------------------------------------------------------
+
+    def source(self, source: Union[str, Graph], **kwargs: Any) -> "Pipeline":
+        """Set the graph source: a generator/file spec or a live Graph."""
+        if isinstance(source, Graph):
+            if kwargs:
+                raise SpecError("kwargs are not accepted with an in-memory Graph source")
+            self._source = source
+        else:
+            scalars, self._source_overrides = _split_kwargs(kwargs)
+            self._source = _merge_spec(source, scalars)
+        return self
+
+    def partition(self, method: str = "ebv", parts: Optional[int] = None, **kwargs: Any) -> "Pipeline":
+        """Choose the partition algorithm and the number of subgraphs."""
+        scalars, self._partition_overrides = _split_kwargs(kwargs)
+        self._partition_spec = _merge_spec(method, scalars)
+        if parts is not None:
+            if isinstance(parts, bool) or not isinstance(parts, int) or parts < 1:
+                raise SpecError(f"parts must be a positive integer, got {parts!r}")
+            self._parts = parts
+        return self
+
+    def refine(self, enabled: bool = True, **kwargs: Any) -> "Pipeline":
+        """Toggle the vertex-cut refinement post-pass (with its kwargs)."""
+        self._refine = bool(enabled)
+        self._refine_options = dict(kwargs)
+        return self
+
+    def run(self, app: str, **kwargs: Any) -> "Pipeline":
+        """Choose the application to execute on the partitioned graph.
+
+        Scalar kwargs fold into the serializable spec; object kwargs
+        (e.g. a FEATPROP ``features`` matrix) are passed through to the
+        program factory directly.
+        """
+        scalars, self._app_overrides = _split_kwargs(kwargs)
+        self._app_spec = _merge_spec(app, scalars)
+        return self
+
+    def with_cost_model(self, cost_model: Optional[CostModel] = None, **kwargs: Any) -> "Pipeline":
+        """Override the BSP cost model (instance or field overrides)."""
+        if cost_model is not None and kwargs:
+            raise SpecError("pass either a CostModel instance or field overrides, not both")
+        self._cost_model = cost_model if cost_model is not None else CostModel(**kwargs)
+        return self
+
+    # ------------------------------------------------------------------
+    # Spec round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: PipelineSpec) -> "Pipeline":
+        """Hydrate a builder from a validated :class:`PipelineSpec`."""
+        pipe = cls()
+        pipe._source = spec.source
+        pipe._partition_spec = spec.partition
+        pipe._parts = spec.parts
+        pipe._refine = spec.refine
+        pipe._refine_options = dict(spec.refine_options)
+        pipe._app_spec = spec.app
+        pipe._cost_model = spec.build_cost_model()
+        return pipe
+
+    def spec(self) -> PipelineSpec:
+        """Serialize the chain to a :class:`PipelineSpec`.
+
+        Raises :class:`SpecError` when the source is an in-memory Graph,
+        which has no spec-string representation.
+        """
+        if self._source is None:
+            raise SpecError("pipeline has no source; call .source(...) first")
+        if isinstance(self._source, Graph):
+            raise SpecError(
+                "an in-memory Graph source cannot be serialized; "
+                "use a generator spec or 'file?path=...'"
+            )
+        objects = {
+            **self._source_overrides,
+            **self._partition_overrides,
+            **self._app_overrides,
+        }
+        if objects:
+            raise SpecError(
+                f"in-memory stage arguments {sorted(objects)} cannot be serialized"
+            )
+        return PipelineSpec(
+            source=self._source,
+            partition=self._partition_spec,
+            parts=self._parts,
+            refine=self._refine,
+            refine_options=dict(self._refine_options),
+            app=self._app_spec,
+            cost_model=(
+                None if self._cost_model is None else dataclasses.asdict(self._cost_model)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self) -> PipelineResult:
+        """Run every configured stage and bundle the results."""
+        timings: Dict[str, float] = {}
+        if isinstance(self._source, Graph) or any(
+            (self._source_overrides, self._partition_overrides, self._app_overrides)
+        ):
+            spec = None  # not serializable, still runnable
+        else:
+            # Eager whole-chain validation: a bad app/partitioner name
+            # fails here, before any generation or partitioning work.
+            spec = self.spec()
+
+        t0 = perf_counter()
+        if isinstance(self._source, Graph):
+            graph = self._source
+        else:
+            graph = _stage(
+                "source",
+                lambda: GENERATORS.create(self._source, **self._source_overrides),
+            )
+        timings["source"] = perf_counter() - t0
+
+        t0 = perf_counter()
+        partitioner = _stage(
+            "partition",
+            lambda: PARTITIONERS.create(
+                self._partition_spec, **self._partition_overrides
+            ),
+        )
+        result = partitioner.partition(graph, self._parts)
+        timings["partition"] = perf_counter() - t0
+
+        if self._refine:
+            t0 = perf_counter()
+            result = _stage(
+                "refine", lambda: refine_vertex_cut(result, **self._refine_options)
+            )
+            timings["refine"] = perf_counter() - t0
+
+        metrics = partition_metrics(result)
+
+        run = None
+        dgraph = None
+        if self._app_spec is not None:
+            t0 = perf_counter()
+            dgraph = build_distributed_graph(result)
+            timings["distribute"] = perf_counter() - t0
+            t0 = perf_counter()
+            program = _stage(
+                "run",
+                lambda: APPS.create(self._app_spec, graph, **self._app_overrides),
+            )
+            engine = BSPEngine(cost_model=self._cost_model)
+            run = engine.run(dgraph, program)
+            timings["run"] = perf_counter() - t0
+
+        timings["total"] = sum(timings.values())
+        return PipelineResult(
+            graph=graph,
+            partition=result,
+            metrics=metrics,
+            run=run,
+            timings=timings,
+            spec=spec,
+            distributed=dgraph,
+        )
+
+
+def run_spec(spec: Union[PipelineSpec, Dict[str, Any]]) -> PipelineResult:
+    """Execute a whole pipeline from a spec (or its plain-dict form)."""
+    if isinstance(spec, dict):
+        spec = PipelineSpec.from_dict(spec)
+    if not isinstance(spec, PipelineSpec):
+        raise SpecError(f"expected a PipelineSpec or dict, got {type(spec).__name__}")
+    return Pipeline.from_spec(spec).execute()

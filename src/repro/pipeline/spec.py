@@ -1,0 +1,159 @@
+"""Serializable pipeline run specifications.
+
+A :class:`PipelineSpec` is one JSON document describing a complete run —
+graph source, partitioner, refinement, application and cost model — the
+substrate for batch sweeps, the ``python -m repro pipeline`` subcommand
+and any future serving layer.  Construction validates eagerly: every
+component spec must parse and resolve against its registry, so a
+malformed document fails with a precise message instead of halfway
+through a run.
+
+Component spec strings are normalized to canonical form (sorted options,
+lower-cased names) on construction, which makes
+``PipelineSpec.from_dict(spec.to_dict())`` byte-stable and lets a spec
+built through the fluent :class:`~repro.pipeline.builder.Pipeline`
+compare equal to one loaded from JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..bsp import CostModel
+from .registries import APPS, GENERATORS, PARTITIONERS
+from .registry import RegistryError, format_spec, parse_spec
+
+__all__ = ["PipelineSpec", "SpecError"]
+
+
+class SpecError(ValueError):
+    """A pipeline spec document is malformed or references unknown parts."""
+
+
+_COST_MODEL_FIELDS = tuple(f.name for f in dataclasses.fields(CostModel))
+
+
+def _canonical_component(value: Any, registry, label: str) -> str:
+    """Validate one component spec string against ``registry``."""
+    if not isinstance(value, str):
+        raise SpecError(f"{label!r} must be a spec string, got {type(value).__name__}")
+    try:
+        name, kwargs = parse_spec(value)
+        registry.canonical(name)
+    except RegistryError as exc:
+        raise SpecError(f"invalid {label!r} spec: {exc}") from exc
+    return format_spec(registry.canonical(name), kwargs)
+
+
+@dataclass
+class PipelineSpec:
+    """One pipeline run as data: ``source -> partition [-> refine] [-> app]``.
+
+    Attributes
+    ----------
+    source:
+        Generator spec (``"powerlaw?vertices=20000,eta=2.2"``) or file
+        source (``"file?path=graph.txt"``).
+    partition:
+        Partitioner spec (``"ebv?alpha=2,sort_order=input"``).
+    parts:
+        Number of subgraphs / BSP workers.
+    refine:
+        Whether to apply the vertex-cut refinement post-pass.
+    refine_options:
+        Keyword arguments for :func:`repro.partition.refine_vertex_cut`
+        (``alpha``, ``beta``, ``max_passes``, ``seed``).  A dict passed
+        as ``refine`` is accepted and normalized to ``refine=True`` plus
+        options.
+    app:
+        Optional application spec (``"pr?pagerank_iters=10"``); when
+        ``None`` the pipeline stops after partition metrics.
+    cost_model:
+        Optional :class:`~repro.bsp.CostModel` overrides by field name.
+    """
+
+    source: str
+    partition: str = "ebv"
+    parts: int = 8
+    refine: bool = False
+    refine_options: Dict[str, Any] = field(default_factory=dict)
+    app: Optional[str] = None
+    cost_model: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        self.source = _canonical_component(self.source, GENERATORS, "source")
+        self.partition = _canonical_component(self.partition, PARTITIONERS, "partition")
+        if isinstance(self.refine, dict):
+            self.refine_options = dict(self.refine)
+            self.refine = True
+        if not isinstance(self.refine, bool):
+            raise SpecError(
+                f"'refine' must be a bool or an options dict, got {self.refine!r}"
+            )
+        if not isinstance(self.refine_options, dict):
+            raise SpecError("'refine_options' must be a dict")
+        if isinstance(self.parts, bool) or not isinstance(self.parts, int):
+            raise SpecError(f"'parts' must be an integer, got {self.parts!r}")
+        if self.parts < 1:
+            raise SpecError(f"'parts' must be >= 1, got {self.parts}")
+        if self.app is not None:
+            self.app = _canonical_component(self.app, APPS, "app")
+        if self.cost_model is not None:
+            if not isinstance(self.cost_model, dict):
+                raise SpecError("'cost_model' must be a dict of CostModel fields")
+            unknown = sorted(set(self.cost_model) - set(_COST_MODEL_FIELDS))
+            if unknown:
+                raise SpecError(
+                    f"unknown cost_model fields {unknown}; "
+                    f"expected a subset of {list(_COST_MODEL_FIELDS)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelineSpec":
+        """Build a spec from a plain dict, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise SpecError(f"pipeline spec must be a JSON object, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown pipeline spec keys {unknown}; expected a subset of {sorted(known)}")
+        if "source" not in data:
+            raise SpecError("pipeline spec requires a 'source' entry")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        """Parse a JSON document into a validated spec."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"pipeline spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "source": self.source,
+            "partition": self.partition,
+            "parts": self.parts,
+            "refine": self.refine,
+            "refine_options": dict(self.refine_options),
+            "app": self.app,
+            "cost_model": None if self.cost_model is None else dict(self.cost_model),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def build_cost_model(self) -> Optional[CostModel]:
+        """Materialize the cost-model overrides (``None`` when unset)."""
+        if self.cost_model is None:
+            return None
+        return CostModel(**self.cost_model)

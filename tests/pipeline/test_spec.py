@@ -1,0 +1,110 @@
+"""Spec parsing, validation and round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.pipeline import PipelineSpec, SpecError
+
+
+class TestValidation:
+    def test_minimal_spec(self):
+        spec = PipelineSpec(source="powerlaw?vertices=200")
+        assert spec.partition == "ebv"
+        assert spec.parts == 8
+        assert spec.app is None
+
+    def test_component_specs_are_canonicalized(self):
+        spec = PipelineSpec(
+            source="POWERLAW?seed=1,vertices=200",
+            partition="EBV?beta=1,alpha=2",
+            app="pagerank",
+        )
+        assert spec.source == "powerlaw?seed=1,vertices=200"
+        assert spec.partition == "ebv?alpha=2,beta=1"
+        assert spec.app == "pr"  # alias resolved to canonical name
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SpecError, match="invalid 'source'"):
+            PipelineSpec(source="bogus?vertices=10")
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(SpecError, match="invalid 'partition'"):
+            PipelineSpec(source="powerlaw", partition="bogus")
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SpecError, match="invalid 'app'"):
+            PipelineSpec(source="powerlaw", app="triangles")
+
+    def test_malformed_component_spec_rejected(self):
+        with pytest.raises(SpecError, match="expected key=value"):
+            PipelineSpec(source="powerlaw?vertices")
+
+    @pytest.mark.parametrize("parts", [0, -1, 2.5, "8", True])
+    def test_bad_parts_rejected(self, parts):
+        with pytest.raises(SpecError, match="parts"):
+            PipelineSpec(source="powerlaw", parts=parts)
+
+    def test_refine_dict_normalizes(self):
+        spec = PipelineSpec(source="powerlaw", refine={"max_passes": 1})
+        assert spec.refine is True
+        assert spec.refine_options == {"max_passes": 1}
+
+    def test_bad_refine_rejected(self):
+        with pytest.raises(SpecError, match="refine"):
+            PipelineSpec(source="powerlaw", refine="yes")
+
+    def test_unknown_cost_model_field_rejected(self):
+        with pytest.raises(SpecError, match="cost_model"):
+            PipelineSpec(source="powerlaw", cost_model={"bogus_field": 1.0})
+
+    def test_cost_model_builds(self):
+        spec = PipelineSpec(
+            source="powerlaw", cost_model={"seconds_per_message": 2e-7}
+        )
+        model = spec.build_cost_model()
+        assert model.seconds_per_message == 2e-7
+        assert PipelineSpec(source="powerlaw").build_cost_model() is None
+
+
+class TestRoundTrip:
+    def full_spec(self):
+        return PipelineSpec(
+            source="powerlaw?min_degree=2,seed=3,vertices=300",
+            partition="ebv?alpha=2",
+            parts=4,
+            refine=True,
+            refine_options={"max_passes": 1},
+            app="cc",
+            cost_model={"seconds_per_message": 2e-7},
+        )
+
+    def test_to_dict_from_dict_is_stable(self):
+        spec = self.full_spec()
+        clone = PipelineSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_json_round_trip(self):
+        spec = self.full_spec()
+        clone = PipelineSpec.from_json(spec.to_json())
+        assert clone == spec
+        # to_json is valid, sorted JSON.
+        payload = json.loads(spec.to_json())
+        assert payload["parts"] == 4
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown pipeline spec keys"):
+            PipelineSpec.from_dict({"source": "powerlaw", "partitions": 4})
+
+    def test_from_dict_requires_source(self):
+        with pytest.raises(SpecError, match="'source'"):
+            PipelineSpec.from_dict({"partition": "ebv"})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            PipelineSpec.from_dict(["powerlaw"])
+
+    def test_from_json_rejects_invalid_json(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            PipelineSpec.from_json("{not json")

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -28,6 +30,18 @@ class TestParser:
     def test_unknown_method_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["partition", "g.txt", "--method", "bogus"])
+
+    def test_method_accepts_spec_kwargs(self):
+        args = build_parser().parse_args(
+            ["partition", "g.txt", "--method", "ebv?alpha=2,sort_order=input"]
+        )
+        assert args.method == "ebv?alpha=2,sort_order=input"
+
+    def test_unknown_app_rejected_and_error_lists_new_apps(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "g.txt", "--app", "bogus"])
+        err = capsys.readouterr().err
+        assert "bfs" in err and "kcore" in err
 
 
 class TestGenerate:
@@ -88,6 +102,128 @@ class TestRun:
     def test_pr(self, edge_file, capsys):
         assert main(["run", edge_file, "--app", "PR", "--method", "dbh"]) == 0
         assert "PR" in capsys.readouterr().out
+
+    def test_run_reports_true_partition_method(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "CC", "--method", "dbh"]) == 0
+        out = capsys.readouterr().out
+        assert "DBH" in out and "?" not in out
+
+    def test_bfs(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "BFS", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS" in out and "reached" in out
+
+    def test_kcore(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "kcore", "--workers", "4"]) == 0
+        assert "KCORE" in capsys.readouterr().out
+
+    def test_featprop(self, edge_file, capsys):
+        assert main(
+            ["run", edge_file, "--app", "featprop?hops=2,feature_dims=4"]
+        ) == 0
+        assert "FEATPROP" in capsys.readouterr().out
+
+    def test_app_spec_kwargs(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "pr?pagerank_iters=3"]) == 0
+        assert "PR" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def spec_path(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_executes_full_spec(self, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path,
+            {
+                "source": "powerlaw?vertices=200,min_degree=2,seed=3",
+                "partition": "ebv",
+                "parts": 4,
+                "refine": True,
+                "app": "cc",
+            },
+        )
+        assert main(["pipeline", path]) == 0
+        out = capsys.readouterr().out
+        assert "EdgeImb" in out and "Supersteps" in out and "Stage" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path,
+            {"source": "powerlaw?vertices=200,min_degree=2,seed=3", "parts": 4,
+             "app": "pr"},
+        )
+        assert main(["pipeline", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"]["program"] == "PR"
+        assert payload["spec"]["app"] == "pr"
+
+    def test_file_source(self, edge_file, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path, {"source": f"file?path={edge_file}", "parts": 4}
+        )
+        assert main(["pipeline", path]) == 0
+        assert "EdgeImb" in capsys.readouterr().out
+
+    def test_bad_spec_reports_error(self, tmp_path, capsys):
+        path = self.spec_path(tmp_path, {"source": "bogus?vertices=10"})
+        assert main(["pipeline", path]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_key_reports_error(self, tmp_path, capsys):
+        path = self.spec_path(tmp_path, {"source": "powerlaw", "partitions": 2})
+        assert main(["pipeline", path]) == 2
+        assert "unknown pipeline spec keys" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["pipeline", "/nonexistent/spec.json"]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_missing_graph_file_reports_clean_error(self, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path, {"source": "file?path=/nonexistent/graph.txt", "parts": 2}
+        )
+        assert main(["pipeline", path]) == 2
+        assert "source stage failed" in capsys.readouterr().err
+
+    def test_refine_on_edge_cut_reports_clean_error(self, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path,
+            {"source": "powerlaw?vertices=200,min_degree=2", "partition": "metis",
+             "parts": 4, "refine": True},
+        )
+        assert main(["pipeline", path]) == 2
+        assert "refine stage failed" in capsys.readouterr().err
+
+    def test_bad_constructor_kwarg_reports_clean_error(self, edge_file, capsys):
+        assert main(["partition", edge_file, "--method", "ebv?bogus=1"]) == 2
+        assert "partition stage failed" in capsys.readouterr().err
+
+
+class TestDeprecationShims:
+    def test_partitioners_view_warns_and_works(self):
+        import repro.cli as cli
+
+        with pytest.warns(DeprecationWarning, match="PARTITIONERS"):
+            view = cli.PARTITIONERS
+        assert "ebv" in view
+        assert callable(view["ebv"])
+        assert sorted(view)  # iterable like the old dict
+
+    def test_experiments_view_warns_and_works(self):
+        import repro.cli as cli
+
+        with pytest.warns(DeprecationWarning, match="EXPERIMENTS"):
+            view = cli.EXPERIMENTS
+        assert "table1" in view and "all" in view
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.cli as cli
+
+        with pytest.raises(AttributeError):
+            cli.NOT_A_THING
 
 
 class TestExperiment:
