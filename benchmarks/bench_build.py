@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""End-to-end build benchmark: partition → distributed build → BSP run.
+
+Times every stage of the evaluation pipeline on the generator suite and
+compares the vectorized :func:`repro.bsp.build_distributed_graph`
+against the legacy per-vertex Python implementation it replaced
+(:func:`repro.bsp.build_distributed_graph_legacy`).  Results are written
+as ``BENCH_build.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_build.py              # full suite
+    PYTHONPATH=src python benchmarks/bench_build.py --quick      # CI smoke
+    PYTHONPATH=src python benchmarks/bench_build.py --check-speedup 1.0
+
+``--check-speedup X`` exits nonzero unless the vectorized build beats
+the legacy build by at least ``X``× on *every* configuration — the CI
+smoke job runs ``--quick --check-speedup 1.0`` so a regression that
+makes the rewrite slower than the loop it replaced fails the build.
+
+The acceptance configuration for the ISSUE-2 tentpole is the full
+suite's ``powerlaw`` entry: 100k vertices at p=16, where the vectorized
+build must be ≥5× faster than the legacy path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bsp import (  # noqa: E402
+    BSPEngine,
+    build_distributed_graph,
+    build_distributed_graph_legacy,
+)
+from repro.apps import PageRank  # noqa: E402
+from repro.graph import generate_graph  # noqa: E402
+from repro.partition import DBHPartitioner, EBVPartitioner  # noqa: E402
+
+#: (name, generator kwargs, partitioner factory, num_parts).  DBH is the
+#: partition stage for the large configs because it is itself vectorized,
+#: so the build timings dominate; EBV appears once to keep a greedy
+#: (replica-minimizing, more mirrors per worker pair) layout in the mix.
+FULL_CONFIGS = [
+    ("powerlaw-100k-p16", dict(kind="powerlaw", vertices=100_000, seed=1), DBHPartitioner, 16),
+    ("powerlaw-50k-p8-ebv", dict(kind="powerlaw", vertices=50_000, seed=2), EBVPartitioner, 8),
+    ("road-90k-p16", dict(kind="road", vertices=90_000, seed=3), DBHPartitioner, 16),
+    ("rmat-65k-p16", dict(kind="rmat", vertices=65_000, edge_factor=8, seed=4), DBHPartitioner, 16),
+    ("er-50k-p16", dict(kind="er", vertices=50_000, seed=5), DBHPartitioner, 16),
+    ("ba-20k-p16", dict(kind="ba", vertices=20_000, seed=6), DBHPartitioner, 16),
+]
+
+QUICK_CONFIGS = [
+    ("powerlaw-8k-p8", dict(kind="powerlaw", vertices=8_000, seed=1), DBHPartitioner, 8),
+    ("road-6k-p8", dict(kind="road", vertices=6_400, seed=3), DBHPartitioner, 8),
+    ("rmat-4k-p8", dict(kind="rmat", vertices=4_000, edge_factor=8, seed=4), DBHPartitioner, 8),
+]
+
+
+def _best_of(fn, repeats: int) -> tuple:
+    """Run ``fn`` ``repeats`` times; return (best seconds, last result)."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def run_config(name, gen_kwargs, partitioner_cls, p, repeats, pagerank_iters):
+    graph = generate_graph(**gen_kwargs)
+
+    t_part, result = _best_of(lambda: partitioner_cls().partition(graph, p), 1)
+    t_new, dg = _best_of(lambda: build_distributed_graph(result), repeats)
+    t_old, _ = _best_of(lambda: build_distributed_graph_legacy(result), repeats)
+    engine = BSPEngine()
+    program = PageRank(graph.num_vertices, max_iters=pagerank_iters)
+    t_run, run = _best_of(lambda: engine.run(dg, program), 1)
+
+    record = {
+        "config": name,
+        "graph": {
+            "kind": gen_kwargs["kind"],
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        },
+        "partitioner": partitioner_cls.name,
+        "num_parts": p,
+        "replication_factor": dg.replication_factor(),
+        "timings_s": {
+            "partition": t_part,
+            "build_vectorized": t_new,
+            "build_legacy": t_old,
+            "bsp_pagerank": t_run,
+            "end_to_end": t_part + t_new + t_run,
+        },
+        "build_speedup": t_old / t_new if t_new > 0 else float("inf"),
+        "bsp_supersteps": run.num_supersteps,
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small graphs for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_build.json"),
+        help="output JSON path (default: ./BENCH_build.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats for the vectorized and legacy builds (best-of)",
+    )
+    parser.add_argument(
+        "--pagerank-iters", type=int, default=5,
+        help="PageRank iterations for the BSP stage",
+    )
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless every config's vectorized build is >= X times "
+        "faster than the legacy build",
+    )
+    args = parser.parse_args(argv)
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    records = []
+    for name, gen_kwargs, partitioner_cls, p in configs:
+        rec = run_config(
+            name, gen_kwargs, partitioner_cls, p, args.repeats, args.pagerank_iters
+        )
+        records.append(rec)
+        t = rec["timings_s"]
+        print(
+            f"{name:24s} |V|={rec['graph']['num_vertices']:>7d} "
+            f"|E|={rec['graph']['num_edges']:>8d} p={p:<3d} "
+            f"partition={t['partition']:.3f}s "
+            f"build={t['build_vectorized']:.3f}s "
+            f"legacy={t['build_legacy']:.3f}s "
+            f"bsp={t['bsp_pagerank']:.3f}s "
+            f"speedup={rec['build_speedup']:.1f}x"
+        )
+
+    payload = {
+        "benchmark": "bench_build",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": records,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if args.check_speedup is not None:
+        slow = [r for r in records if r["build_speedup"] < args.check_speedup]
+        if slow:
+            for r in slow:
+                print(
+                    f"FAIL: {r['config']} vectorized build only "
+                    f"{r['build_speedup']:.2f}x vs legacy "
+                    f"(required {args.check_speedup:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"speedup check passed (>= {args.check_speedup:.2f}x everywhere)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

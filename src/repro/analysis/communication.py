@@ -64,7 +64,7 @@ def per_worker_sync_messages(result: PartitionResult) -> np.ndarray:
     for v, parts in enumerate(_replica_lists(result)):
         if parts.size <= 1:
             continue
-        master = masters.get(v, int(parts[0]))
+        master = int(masters[v]) if masters[v] >= 0 else int(parts[0])
         for p in parts.tolist():
             if p == master:
                 sent[p] += parts.size - 1  # broadcast to each mirror

@@ -1,7 +1,12 @@
 """Subgraph-centric BSP substrate: distributed graph, engine, cost model."""
 
 from .cost_model import CostModel
-from .distributed import DistributedGraph, LocalSubgraph, build_distributed_graph
+from .distributed import (
+    DistributedGraph,
+    LocalSubgraph,
+    build_distributed_graph,
+    build_distributed_graph_legacy,
+)
 from .engine import BSPEngine, BSPRun, SuperstepStats
 from .program import ACCUMULATE, MINIMIZE, ComputeResult, SubgraphProgram
 
@@ -10,6 +15,7 @@ __all__ = [
     "DistributedGraph",
     "LocalSubgraph",
     "build_distributed_graph",
+    "build_distributed_graph_legacy",
     "BSPEngine",
     "BSPRun",
     "SuperstepStats",

@@ -12,6 +12,16 @@ subgraph-centric framework would hold on each worker:
   **mirror** replicas.  Mirrors push updates to their master and the
   master broadcasts the combined value back, PowerGraph-style, which is
   the only communication the BSP engine permits (Section IV-B).
+
+The build is fully vectorized: master assignment is a sorted
+``(vertex, part)`` key reduction, global→local re-indexing is
+``np.searchsorted`` over each worker's sorted vertex table, and the
+mirror→master routes come from one ``argsort`` over
+``(mirror_worker, master_worker)`` keys.  The original per-vertex
+Python-loop implementation is preserved as
+:func:`build_distributed_graph_legacy` so the equivalence tests and
+``benchmarks/bench_build.py`` can prove the rewrite is byte-identical
+and measure the speedup.
 """
 
 from __future__ import annotations
@@ -22,9 +32,19 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..graph import Graph
-from ..partition.base import EDGE_CUT, PartitionResult
+from ..partition.base import (
+    _DENSE_CELLS,
+    _group_vertices_by_part,
+    EDGE_CUT,
+    PartitionResult,
+)
 
-__all__ = ["LocalSubgraph", "DistributedGraph", "build_distributed_graph"]
+__all__ = [
+    "LocalSubgraph",
+    "DistributedGraph",
+    "build_distributed_graph",
+    "build_distributed_graph_legacy",
+]
 
 
 @dataclass
@@ -163,18 +183,205 @@ class DistributedGraph:
         return out
 
 
-def _master_assignment(result: PartitionResult) -> Dict[int, int]:
-    """Choose the master worker for every vertex that appears in the graph.
+def _master_assignment(result: PartitionResult) -> np.ndarray:
+    """Choose the master worker for every vertex, as an int64 array.
 
     Vertex-cut: the replica co-located with the most of the vertex's
     edges (ties to the smallest worker id), the standard PowerGraph
-    placement.  Edge-cut: the owning partition.
+    placement.  Edge-cut: the owning partition.  Vertices incident to no
+    edge get ``-1``; :func:`build_distributed_graph` homes them
+    round-robin.
     """
+    graph = result.graph
+    n = graph.num_vertices
+    if result.kind == EDGE_CUT:
+        return result.vertex_parts.astype(np.int64, copy=True)
+    p = result.num_parts
+    keys = np.concatenate(
+        [
+            graph.src * np.int64(p) + result.edge_parts,
+            graph.dst * np.int64(p) + result.edge_parts,
+        ]
+    )
+    if n * p <= _DENSE_CELLS:
+        # Dense per-(vertex, part) incidence counts; argmax returns the
+        # first (= smallest part id) maximum, the required tie-break.
+        counts = np.bincount(keys, minlength=n * p).reshape(n, p)
+        best = counts.argmax(axis=1)
+        return np.where(counts.max(axis=1) > 0, best, np.int64(-1))
+    uniq, counts = np.unique(keys, return_counts=True)
+    verts = uniq // p
+    parts = uniq % p
+    # Rank each vertex's replicas by (count desc, part asc) and keep the
+    # first row per vertex group.
+    order = np.lexsort((parts, -counts, verts))
+    sverts = verts[order]
+    first = np.ones(sverts.size, dtype=bool)
+    if sverts.size:
+        first[1:] = sverts[1:] != sverts[:-1]
+    masters = np.full(n, -1, dtype=np.int64)
+    masters[sverts[first]] = parts[order][first]
+    return masters
+
+
+def _edge_cut_membership(result: PartitionResult) -> List[np.ndarray]:
+    """Hosted vertex set per worker: owned vertices plus ghost endpoints."""
+    graph = result.graph
+    n = graph.num_vertices
+    p = result.num_parts
+    return _group_vertices_by_part(
+        [
+            result.edge_parts * np.int64(n) + graph.src,
+            result.edge_parts * np.int64(n) + graph.dst,
+            result.vertex_parts * np.int64(n) + np.arange(n, dtype=np.int64),
+        ],
+        n,
+        p,
+    )
+
+
+def build_distributed_graph(result: PartitionResult) -> DistributedGraph:
+    """Materialize local subgraphs and replica routes from a partition."""
+    graph = result.graph
+    n = graph.num_vertices
+    p = result.num_parts
+    masters = _master_assignment(result)
+
+    # Vertex membership per worker (includes ghosts for edge-cut).
+    if result.kind == EDGE_CUT:
+        membership = _edge_cut_membership(result)
+    else:
+        membership = list(result.vertex_membership())
+
+    # Vertices incident to no edge appear in no E_i; a real deployment
+    # still needs a home for them, so spread them round-robin as masters.
+    hosted = np.zeros(n, dtype=bool)
+    for verts in membership:
+        hosted[verts] = True
+    unhosted = np.nonzero(~hosted)[0]
+    if unhosted.size:
+        home = np.arange(unhosted.size, dtype=np.int64) % p
+        masters[unhosted] = home
+        for i in range(p):
+            extra = unhosted[home == i]
+            if extra.size:
+                membership[i] = np.union1d(membership[i], extra)
+
+    # Group edge ids by part once; the stable sort keeps each part's
+    # edges in input order, matching the legacy boolean-mask scan.  Part
+    # ids fit in int16, where NumPy's stable sort is an O(m) radix sort.
+    if p <= np.iinfo(np.int16).max:
+        edge_order = np.argsort(result.edge_parts.astype(np.int16), kind="stable")
+    else:
+        edge_order = np.argsort(result.edge_parts, kind="stable")
+    ebounds = np.searchsorted(result.edge_parts[edge_order], np.arange(p + 1))
+
+    # Global→local re-indexing.  Small layouts use a dense (part, vertex)
+    # lookup table — one scatter per part, then a single gather for every
+    # edge endpoint; entries outside each part's membership are never
+    # read.  Large layouts fall back to per-part binary search.
+    lut: Optional[np.ndarray] = None
+    if n * p <= _DENSE_CELLS:
+        lut = np.empty(p * n, dtype=np.int64)
+        for i in range(p):
+            verts = membership[i]
+            lut[i * n + verts] = np.arange(verts.size, dtype=np.int64)
+        part_base = result.edge_parts * np.int64(n)
+        lsrc_all = lut[part_base + graph.src]
+        ldst_all = lut[part_base + graph.dst]
+
+    global_out_deg = graph.out_degrees()
+    locals_: List[LocalSubgraph] = []
+    for i in range(p):
+        verts = membership[i]
+        eids = edge_order[ebounds[i] : ebounds[i + 1]]
+        if lut is not None:
+            lsrc = lsrc_all[eids]
+            ldst = ldst_all[eids]
+        else:
+            lsrc = np.searchsorted(verts, graph.src[eids]).astype(np.int64, copy=False)
+            ldst = np.searchsorted(verts, graph.dst[eids]).astype(np.int64, copy=False)
+        weights = None if graph.weights is None else graph.weights[eids]
+        mw = masters[verts]
+        master_worker = np.where(mw < 0, np.int64(i), mw)
+        locals_.append(
+            LocalSubgraph(
+                worker_id=i,
+                global_ids=verts,
+                src=lsrc,
+                dst=ldst,
+                weights=weights,
+                is_master=master_worker == i,
+                master_worker=master_worker,
+                global_out_degree=global_out_deg[verts],
+            )
+        )
+
+    dg = DistributedGraph(
+        graph=graph, num_workers=p, locals=locals_, partition_method=result.method
+    )
+
+    # Gather every mirror replica across all workers into flat arrays.
+    mir_w = np.concatenate(
+        [np.full(np.count_nonzero(~l.is_master), w, dtype=np.int64)
+         for w, l in enumerate(locals_)]
+    )
+    mir_j = np.concatenate([np.nonzero(~l.is_master)[0] for l in locals_])
+    if mir_j.size == 0:
+        return dg
+    mir_gv = np.concatenate([l.global_ids[~l.is_master] for l in locals_])
+    mir_mw = np.concatenate([l.master_worker[~l.is_master] for l in locals_])
+
+    # Resolve each mirror's local index on its master worker: one gather
+    # through the dense lookup table, or one searchsorted per master
+    # (each worker's vertex table is sorted) at large scale.
+    if lut is not None:
+        mir_mj = lut[mir_mw * np.int64(n) + mir_gv]
+    else:
+        mir_mj = np.empty(mir_j.size, dtype=np.int64)
+        mw_order = np.argsort(mir_mw, kind="stable")
+        mw_bounds = np.searchsorted(mir_mw[mw_order], np.arange(p + 1))
+        for mw_id in range(p):
+            sel = mw_order[mw_bounds[mw_id] : mw_bounds[mw_id + 1]]
+            if sel.size:
+                mir_mj[sel] = np.searchsorted(membership[mw_id], mir_gv[sel])
+
+    # Group mirrors into per-(mirror worker, master worker) routes.  The
+    # stable sort keeps mirrors in (worker, local index) order, matching
+    # the legacy per-vertex append loop.
+    pair_key = mir_w * np.int64(p) + mir_mw
+    order = np.argsort(pair_key, kind="stable")
+    skey = pair_key[order]
+    starts = np.flatnonzero(np.concatenate([[True], skey[1:] != skey[:-1]]))
+    ends = np.concatenate([starts[1:], [skey.size]])
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        w = int(skey[s] // p)
+        mw_id = int(skey[s] % p)
+        sel = order[s:e]
+        up = _Route(src_index=mir_j[sel], dst_index=mir_mj[sel])
+        dg.up_routes[(w, mw_id)] = up
+        dg.down_routes[(mw_id, w)] = _Route(
+            src_index=up.dst_index, dst_index=up.src_index
+        )
+    return dg
+
+
+# ----------------------------------------------------------------------
+# Legacy reference implementation
+# ----------------------------------------------------------------------
+#
+# The original per-vertex Python-loop build, kept verbatim as the ground
+# truth for tests/bsp/test_build_equivalence.py and as the baseline that
+# benchmarks/bench_build.py measures the vectorized build against.  Do
+# not "optimize" this path — its value is being obviously correct.
+
+
+def _master_assignment_legacy(result: PartitionResult) -> Dict[int, int]:
+    """Dict-based master choice (see :func:`_master_assignment`)."""
     graph = result.graph
     if result.kind == EDGE_CUT:
         return {v: int(result.vertex_parts[v]) for v in range(graph.num_vertices)}
     # Count incident edges per (vertex, part).
-    n = graph.num_vertices
     p = result.num_parts
     keys = np.concatenate(
         [
@@ -194,11 +401,11 @@ def _master_assignment(result: PartitionResult) -> Dict[int, int]:
     return masters
 
 
-def build_distributed_graph(result: PartitionResult) -> DistributedGraph:
-    """Materialize local subgraphs and replica routes from a partition."""
+def build_distributed_graph_legacy(result: PartitionResult) -> DistributedGraph:
+    """Original loop-based build; reference for equivalence and benchmarks."""
     graph = result.graph
     p = result.num_parts
-    masters = _master_assignment(result)
+    masters = _master_assignment_legacy(result)
 
     # Vertex membership per worker (includes ghosts for edge-cut).
     membership: List[np.ndarray] = []

@@ -57,9 +57,20 @@ def generate_graph(
     (translated to the generator's native sizing: grid side for ``road``,
     log2 scale for ``rmat``), so graph sources can be described by one
     spec string such as ``"powerlaw?vertices=20000,eta=2.2"``.  Extra
-    keyword arguments pass through to the underlying generator;
-    ``directed`` is forwarded where it applies.
+    keyword arguments pass through to the underlying generator.
+
+    ``rmat`` graphs always have a power-of-two vertex count: ``vertices``
+    snaps to the *nearest* scale (``2^round(log2(vertices))``), so the
+    realised size is within a factor of √2 of the request.  ``road`` and
+    ``ba`` are inherently undirected (both store the doubled edge list);
+    asking for ``directed=True`` on them raises :class:`ValueError`
+    rather than silently ignoring the argument.
     """
+    if directed and kind in ("road", "ba"):
+        raise ValueError(
+            f"generator kind {kind!r} produces undirected graphs; "
+            "directed=True is not supported"
+        )
     extra = {} if name is None else {"name": name}
     if kind == "powerlaw":
         opts = {"eta": 2.2, "min_degree": 3, "directed": directed, "seed": seed}
@@ -73,7 +84,7 @@ def generate_graph(
         opts.update(kwargs)
         return road_network(side, side, **opts)
     if kind == "rmat":
-        scale = max(2, int(np.log2(max(vertices, 4))))
+        scale = max(2, int(round(np.log2(max(vertices, 4)))))
         opts = {"seed": seed, "directed": directed}
         opts.update(extra)
         opts.update(kwargs)

@@ -28,6 +28,31 @@ __all__ = ["VERTEX_CUT", "EDGE_CUT", "PartitionResult", "Partitioner"]
 VERTEX_CUT = "vertex-cut"
 EDGE_CUT = "edge-cut"
 
+#: Max ``num_vertices * num_parts`` cells for the dense (bitmap /
+#: bincount) reductions in the membership and distributed-build paths;
+#: larger layouts use sorted-key reductions to bound memory.
+_DENSE_CELLS = 1 << 25
+
+
+def _group_vertices_by_part(key_arrays, n: int, p: int) -> List[np.ndarray]:
+    """Group flat ``part * n + vertex`` keys into per-part sorted vertex arrays.
+
+    Below :data:`_DENSE_CELLS` this scatters into a dense ``(p, n)``
+    bitmap and reads each row back with ``flatnonzero``; above it, a
+    sorted-key reduction splits one ``np.unique`` pass at the part
+    boundaries.  Both return identical arrays.
+    """
+    if n * p <= _DENSE_CELLS:
+        mark = np.zeros(p * n, dtype=bool)
+        for keys in key_arrays:
+            mark[keys] = True
+        rows = mark.reshape(p, n)
+        return [np.flatnonzero(rows[i]) for i in range(p)]
+    keys = np.unique(np.concatenate(list(key_arrays)))
+    bounds = np.searchsorted(keys // n, np.arange(p + 1))
+    verts = keys % n
+    return [verts[bounds[i] : bounds[i + 1]] for i in range(p)]
+
 
 class PartitionResult:
     """A finished partition of a graph into ``p`` subgraphs.
@@ -115,20 +140,25 @@ class PartitionResult:
     def vertex_membership(self) -> List[np.ndarray]:
         """For each subgraph ``i``, the sorted array of vertices in ``V_i``."""
         if self._vertex_membership is None:
-            members: List[np.ndarray] = []
+            n = self.graph.num_vertices
+            p = self.num_parts
             if self.kind == VERTEX_CUT:
-                for i in range(self.num_parts):
-                    mask = self.edge_parts == i
-                    verts = np.unique(
-                        np.concatenate([self.graph.src[mask], self.graph.dst[mask]])
-                    )
-                    members.append(verts)
+                members = _group_vertices_by_part(
+                    [
+                        self.edge_parts * np.int64(n) + self.graph.src,
+                        self.edge_parts * np.int64(n) + self.graph.dst,
+                    ],
+                    n,
+                    p,
+                )
             else:
                 # V_i is the owned vertex set plus ghosts (other endpoints
                 # of replicated edges).  For metrics purposes the paper
                 # treats edge-cut V_i as the *owned* set (Σ|V_i| = |V|).
-                for i in range(self.num_parts):
-                    members.append(np.nonzero(self.vertex_parts == i)[0])
+                # The stable sort leaves each part's vertices ascending.
+                order = np.argsort(self.vertex_parts, kind="stable")
+                bounds = np.searchsorted(self.vertex_parts[order], np.arange(p + 1))
+                members = [order[bounds[i] : bounds[i + 1]] for i in range(p)]
             self._vertex_membership = members
         return self._vertex_membership
 
@@ -143,26 +173,34 @@ class PartitionResult:
         edge-cut results these are the owner plus every partition that
         holds the vertex as a ghost endpoint of a replicated edge.
         """
-        pairs = set()
+        n = self.graph.num_vertices
+        p = self.num_parts
         if self.kind == VERTEX_CUT:
-            for arr, parts in ((self.graph.src, self.edge_parts), (self.graph.dst, self.edge_parts)):
-                uniq = np.unique(arr * np.int64(self.num_parts) + parts)
-                for key in uniq.tolist():
-                    pairs.add((key // self.num_parts, key % self.num_parts))
+            keys = np.unique(
+                np.concatenate(
+                    [
+                        self.graph.src * np.int64(p) + self.edge_parts,
+                        self.graph.dst * np.int64(p) + self.edge_parts,
+                    ]
+                )
+            )
         else:
-            for v, p in enumerate(self.vertex_parts.tolist()):
-                pairs.add((v, p))
             src_p = self.vertex_parts[self.graph.src]
             dst_p = self.vertex_parts[self.graph.dst]
             cross = src_p != dst_p
-            for v, p in zip(self.graph.dst[cross].tolist(), src_p[cross].tolist()):
-                pairs.add((v, p))
-            for v, p in zip(self.graph.src[cross].tolist(), dst_p[cross].tolist()):
-                pairs.add((v, p))
-        out: List[List[int]] = [[] for _ in range(self.graph.num_vertices)]
-        for v, p in sorted(pairs):
-            out[v].append(p)
-        return [np.asarray(ps, dtype=np.int64) for ps in out]
+            keys = np.unique(
+                np.concatenate(
+                    [
+                        np.arange(n, dtype=np.int64) * np.int64(p) + self.vertex_parts,
+                        self.graph.dst[cross] * np.int64(p) + src_p[cross],
+                        self.graph.src[cross] * np.int64(p) + dst_p[cross],
+                    ]
+                )
+            )
+        # keys are sorted by (vertex, part); split at vertex boundaries.
+        bounds = np.searchsorted(keys // p, np.arange(n + 1))
+        parts = np.ascontiguousarray(keys % p)
+        return [parts[bounds[v] : bounds[v + 1]] for v in range(n)]
 
     def subgraph_edges(self, part: int) -> np.ndarray:
         """Edge ids assigned to (executed by) subgraph ``part``."""

@@ -15,6 +15,8 @@ argument.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..graph import Graph
@@ -47,20 +49,24 @@ class FennelPartitioner(Partitioner):
     def __init__(
         self,
         gamma: float = 1.5,
-        alpha: float = None,
+        alpha: Optional[float] = None,
         slack: float = 1.1,
         shuffle: bool = True,
         seed: int = 0,
     ):
         if gamma <= 1.0:
             raise ValueError("gamma must exceed 1")
+        if alpha is not None and alpha <= 0:
+            raise ValueError("alpha must be positive when given")
         if slack < 1.0:
             raise ValueError("slack must be >= 1")
+        if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+            raise TypeError("seed must be an integer")
         self.gamma = float(gamma)
-        self.alpha = alpha
+        self.alpha = None if alpha is None else float(alpha)
         self.slack = float(slack)
         self.shuffle = bool(shuffle)
-        self.seed = seed
+        self.seed = int(seed)
 
     def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
         """Stream vertices once, placing each greedily."""

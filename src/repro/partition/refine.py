@@ -13,12 +13,14 @@ edges whenever doing so lowers the global EBV-style objective
 The quadratic balance potentials have the property that a move's Δ is
 cheap to evaluate incrementally and that F strictly decreases with each
 accepted move, so the pass terminates.  The replica term needs per-
-(vertex, partition) incident-edge counts, maintained in a dict.
+(vertex, partition) incident-edge counts, maintained in a dict that
+only ever holds strictly positive counts — candidate-part probes are
+read-only ``dict.get`` calls, and a count that drops to zero is deleted,
+so the dict never accumulates O(m·p) phantom zero entries.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Tuple
 
 import numpy as np
@@ -26,6 +28,91 @@ import numpy as np
 from .base import VERTEX_CUT, PartitionResult
 
 __all__ = ["refine_vertex_cut"]
+
+
+def _refine_edge_parts(
+    graph,
+    edge_parts: np.ndarray,
+    p: int,
+    alpha: float,
+    beta: float,
+    max_passes: int,
+    seed: int,
+):
+    """Core refinement loop; returns ``(edge_parts, incident, ecount, vcount)``.
+
+    Exposed separately so property tests can inspect the final incident
+    state (it must hold positive counts only).
+    """
+    m = graph.num_edges
+    n = graph.num_vertices
+    src, dst = graph.src, graph.dst
+
+    incident: Dict[Tuple[int, int], int] = {}
+    ecount = np.zeros(p, dtype=np.int64)
+    vcount = np.zeros(p, dtype=np.int64)
+    for e in range(m):
+        a = int(edge_parts[e])
+        ecount[a] += 1
+        for w in {int(src[e]), int(dst[e])}:
+            c = incident.get((w, a), 0)
+            if c == 0:
+                vcount[a] += 1
+            incident[(w, a)] = c + 1
+
+    edge_scale = alpha / (m / p)
+    vertex_scale = beta / (n / p)
+    rng = np.random.default_rng(seed)
+
+    for _ in range(max_passes):
+        moved = 0
+        for e in rng.permutation(m).tolist():
+            a = int(edge_parts[e])
+            u, v = int(src[e]), int(dst[e])
+            endpoints = {u, v}
+            # Replicas freed in `a` if this is the endpoint's last edge there.
+            freed = sum(1 for w in endpoints if incident[(w, a)] == 1)
+            best_delta = 0.0
+            best_b = -1
+            for b in range(p):
+                if b == a:
+                    continue
+                created = sum(
+                    1 for w in endpoints if incident.get((w, b), 0) == 0
+                )
+                delta = created - freed
+                delta += edge_scale * (ecount[b] - ecount[a] + 1)
+                # Vertex-balance potential: Σ vcount² changes by
+                # (vcount[b]+created)² - vcount[b]²
+                # + (vcount[a]-freed)² - vcount[a]².
+                delta += vertex_scale * 0.5 * (
+                    (vcount[b] + created) ** 2 - vcount[b] ** 2
+                    + (vcount[a] - freed) ** 2 - vcount[a] ** 2
+                )
+                if delta < best_delta - 1e-12:
+                    best_delta = delta
+                    best_b = b
+            if best_b < 0:
+                continue
+            b = best_b
+            edge_parts[e] = b
+            ecount[a] -= 1
+            ecount[b] += 1
+            for w in endpoints:
+                ca = incident[(w, a)] - 1
+                if ca == 0:
+                    del incident[(w, a)]
+                    vcount[a] -= 1
+                else:
+                    incident[(w, a)] = ca
+                cb = incident.get((w, b), 0)
+                if cb == 0:
+                    vcount[b] += 1
+                incident[(w, b)] = cb + 1
+            moved += 1
+        if moved == 0:
+            break
+    return edge_parts, incident, ecount, vcount
 
 
 def refine_vertex_cut(
@@ -53,68 +140,9 @@ def refine_vertex_cut(
     p = result.num_parts
     if p == 1 or graph.num_edges == 0:
         return result
-    m = graph.num_edges
-    n = graph.num_vertices
-    edge_parts = result.edge_parts.copy()
-    src, dst = graph.src, graph.dst
-
-    incident: Dict[Tuple[int, int], int] = defaultdict(int)
-    ecount = np.zeros(p, dtype=np.int64)
-    vcount = np.zeros(p, dtype=np.int64)
-    for e in range(m):
-        a = int(edge_parts[e])
-        ecount[a] += 1
-        for w in {int(src[e]), int(dst[e])}:
-            if incident[(w, a)] == 0:
-                vcount[a] += 1
-            incident[(w, a)] += 1
-
-    edge_scale = alpha / (m / p)
-    vertex_scale = beta / (n / p)
-    rng = np.random.default_rng(seed)
-
-    for _ in range(max_passes):
-        moved = 0
-        for e in rng.permutation(m).tolist():
-            a = int(edge_parts[e])
-            u, v = int(src[e]), int(dst[e])
-            endpoints = {u, v}
-            # Replicas freed in `a` if this is the endpoint's last edge there.
-            freed = sum(1 for w in endpoints if incident[(w, a)] == 1)
-            best_delta = 0.0
-            best_b = -1
-            for b in range(p):
-                if b == a:
-                    continue
-                created = sum(1 for w in endpoints if incident[(w, b)] == 0)
-                delta = created - freed
-                delta += edge_scale * (ecount[b] - ecount[a] + 1)
-                # Vertex-balance potential: Σ vcount² changes by
-                # (vcount[b]+created)² - vcount[b]²
-                # + (vcount[a]-freed)² - vcount[a]².
-                delta += vertex_scale * 0.5 * (
-                    (vcount[b] + created) ** 2 - vcount[b] ** 2
-                    + (vcount[a] - freed) ** 2 - vcount[a] ** 2
-                )
-                if delta < best_delta - 1e-12:
-                    best_delta = delta
-                    best_b = b
-            if best_b < 0:
-                continue
-            b = best_b
-            edge_parts[e] = b
-            ecount[a] -= 1
-            ecount[b] += 1
-            for w in endpoints:
-                incident[(w, a)] -= 1
-                if incident[(w, a)] == 0:
-                    vcount[a] -= 1
-                if incident[(w, b)] == 0:
-                    vcount[b] += 1
-                incident[(w, b)] += 1
-            moved += 1
-        if moved == 0:
-            break
+    edge_parts, _, _, _ = _refine_edge_parts(
+        graph, result.edge_parts.copy(), p, alpha, beta, max_passes, seed
+    )
     return PartitionResult(
         graph,
         p,

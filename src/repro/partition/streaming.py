@@ -186,7 +186,6 @@ class ShardedEBVPartitioner(Partitioner):
         while any(positions[s] < shards[s].shape[0] for s in range(self.num_shards)):
             epoch_masks: List[dict] = []
             epoch_ecount = np.zeros(num_parts, dtype=np.int64)
-            epoch_vcount = np.zeros(num_parts, dtype=np.int64)
             for s in range(self.num_shards):
                 local_masks: dict = {}
                 local_ecount = committed_ecount.astype(np.float64).copy()
@@ -222,7 +221,6 @@ class ShardedEBVPartitioner(Partitioner):
                 positions[s] = stop
                 epoch_masks.append(local_masks)
                 epoch_ecount += (local_ecount - committed_ecount).astype(np.int64)
-                epoch_vcount += (local_vcount - committed_vcount).astype(np.int64)
             # Synchronization barrier: merge every worker's deltas.
             for local_masks in epoch_masks:
                 for vertex, mask in local_masks.items():

@@ -192,3 +192,30 @@ class TestPaperSuite:
         b = paper_graph_suite(scale=0.1, seed=3)
         for name in a:
             assert np.array_equal(a[name].src, b[name].src)
+
+
+class TestGenerateGraphFrontDoor:
+    def test_rmat_rounds_to_nearest_scale(self):
+        from repro.graph import generate_graph
+
+        # log2(12000) = 13.55 -> scale 14 (the old int() truncation gave 13,
+        # an 8192-vertex graph for a 12000-vertex request).
+        g = generate_graph("rmat", vertices=12_000, edge_factor=2, seed=1)
+        assert g.num_vertices == 16_384
+        # log2(10000) = 13.29 -> nearest scale is still 13.
+        g = generate_graph("rmat", vertices=10_000, edge_factor=2, seed=1)
+        assert g.num_vertices == 8_192
+
+    @pytest.mark.parametrize("kind", ["road", "ba"])
+    def test_directed_rejected_for_undirected_kinds(self, kind):
+        from repro.graph import generate_graph
+
+        with pytest.raises(ValueError, match="undirected"):
+            generate_graph(kind, vertices=100, directed=True)
+
+    @pytest.mark.parametrize("kind", ["road", "ba"])
+    def test_undirected_kinds_still_work_by_default(self, kind):
+        from repro.graph import generate_graph
+
+        g = generate_graph(kind, vertices=100, seed=2)
+        assert not g.directed

@@ -69,3 +69,18 @@ class TestFennelExecution:
             r.vertex_parts[small_road.src] == r.vertex_parts[small_road.dst]
         ).mean()
         assert internal > 0.5
+
+
+class TestFennelValidation:
+    def test_seed_must_be_integer(self):
+        with pytest.raises(TypeError):
+            FennelPartitioner(seed="7")
+        with pytest.raises(TypeError):
+            FennelPartitioner(seed=1.5)
+        assert FennelPartitioner(seed=np.int64(3)).seed == 3
+
+    def test_alpha_optional_but_positive(self):
+        assert FennelPartitioner().alpha is None
+        assert FennelPartitioner(alpha=0.5).alpha == 0.5
+        with pytest.raises(ValueError):
+            FennelPartitioner(alpha=0.0)

@@ -1,0 +1,95 @@
+"""Property tests for vertex-cut refinement.
+
+Two invariants the greedy pass must keep:
+
+* the EBV-style objective F (replicas + quadratic balance potentials)
+  never increases — every accepted move strictly lowers it;
+* the incident-count dict only ever holds strictly positive counts.
+  A regression here is the O(m·p) memory blow-up where ``defaultdict``
+  probes of candidate parts permanently insert zero-valued keys.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.partition import EBVPartitioner, PartitionResult, refine_vertex_cut
+from repro.partition.base import VERTEX_CUT
+from repro.partition.refine import _refine_edge_parts
+
+
+def objective(result: PartitionResult, alpha: float, beta: float) -> float:
+    """F = Σ_v |parts(v)| + α/(2m/p)·Σ ecount² + β/(2n/p)·Σ vcount²."""
+    m = result.graph.num_edges
+    n = result.graph.num_vertices
+    p = result.num_parts
+    replicas = sum(parts.size for parts in result.replica_map())
+    ecount = np.bincount(result.edge_parts, minlength=p).astype(np.float64)
+    vcount = np.array([v.size for v in result.vertex_membership()], dtype=np.float64)
+    return (
+        replicas
+        + alpha / (2 * m / p) * float((ecount**2).sum())
+        + beta / (2 * n / p) * float((vcount**2).sum())
+    )
+
+
+def random_partition(n, m, p, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(n, size=m)
+    dst = rng.integers(n, size=m)
+    g = Graph(n, src, dst, directed=True, name="rand")
+    edge_parts = rng.integers(p, size=m).astype(np.int64)
+    return PartitionResult(g, p, edge_parts=edge_parts, kind=VERTEX_CUT, method="rand")
+
+
+@given(
+    n=st.integers(5, 60),
+    m=st.integers(1, 200),
+    p=st.integers(2, 5),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_refinement_never_increases_objective(n, m, p, seed):
+    result = random_partition(n, m, p, seed)
+    refined = refine_vertex_cut(result, alpha=1.0, beta=1.0, max_passes=2, seed=seed)
+    before = objective(result, 1.0, 1.0)
+    after = objective(refined, 1.0, 1.0)
+    assert after <= before + 1e-9
+
+
+@given(
+    n=st.integers(5, 60),
+    m=st.integers(1, 200),
+    p=st.integers(2, 5),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_incident_counts_stay_positive_and_exact(n, m, p, seed):
+    result = random_partition(n, m, p, seed)
+    edge_parts, incident, ecount, vcount = _refine_edge_parts(
+        result.graph, result.edge_parts.copy(), p, 1.0, 1.0, 2, seed
+    )
+    # No zero-count (or negative) entries survive a full refinement run.
+    assert all(c > 0 for c in incident.values())
+    # The dict matches a from-scratch recount of the final assignment.
+    expected = {}
+    for e in range(result.graph.num_edges):
+        a = int(edge_parts[e])
+        for w in {int(result.graph.src[e]), int(result.graph.dst[e])}:
+            expected[(w, a)] = expected.get((w, a), 0) + 1
+    assert incident == expected
+    assert np.array_equal(ecount, np.bincount(edge_parts, minlength=p))
+    # vcount[i] is the number of distinct vertices incident to part i, so
+    # Σ vcount equals the number of (vertex, part) pairs alive in the dict.
+    assert vcount.sum() == len(incident)
+    per_part = np.zeros(p, dtype=np.int64)
+    for (_w, a) in incident:
+        per_part[a] += 1
+    assert np.array_equal(vcount, per_part)
+
+
+def test_refinement_improves_real_partition(small_powerlaw):
+    base = EBVPartitioner().partition(small_powerlaw, 6)
+    refined = refine_vertex_cut(base, max_passes=2, seed=1)
+    assert objective(refined, 1.0, 1.0) <= objective(base, 1.0, 1.0) + 1e-9
