@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Runtime-backend benchmark: the same BSP run on every backend.
+
+Partitions each configured graph once, builds the distributed graph
+once, then executes PageRank and Connected Components through the BSP
+engine on every :mod:`repro.runtime` backend (``serial``, ``thread``,
+``process``), timing real wall-clock — best-of-N end-to-end plus the
+engine's per-superstep-stage walls (compute vs. replica exchange).
+Results are written as ``BENCH_runtime.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_runtime.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_runtime.py --check-speedup 1.5
+
+``--check-speedup X`` exits nonzero unless the ``process`` backend
+beats ``serial`` by at least ``X``× on PageRank for every configuration
+— *when enough CPUs are visible to make that physically possible*.  On
+a host where fewer than 2 CPUs are schedulable (``cpus_available`` in
+the report), no parallel backend can beat serial; the check then
+documents the limiting factor in ``speedup_notes`` instead of failing,
+so the report always states exactly which stage (or machine limit)
+prevents the speedup.
+
+The ISSUE-3 acceptance configuration is the full suite's
+``powerlaw-200k-p4`` entry: PageRank on a 200k-vertex power-law graph
+at p=4, target ≥1.5× real wall-clock over serial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bsp import BSPEngine, build_distributed_graph  # noqa: E402
+from repro.frameworks import make_program  # noqa: E402
+from repro.graph import generate_graph  # noqa: E402
+from repro.partition import DBHPartitioner  # noqa: E402
+from repro.pipeline import BACKENDS  # noqa: E402
+
+#: (name, generator kwargs, num_parts).  DBH partitions everything: it
+#: is fast and vectorized, so the BSP run timings dominate the setup.
+FULL_CONFIGS = [
+    ("powerlaw-200k-p4", dict(kind="powerlaw", vertices=200_000, seed=1), 4),
+    ("powerlaw-100k-p8", dict(kind="powerlaw", vertices=100_000, seed=2), 8),
+    ("rmat-65k-p4", dict(kind="rmat", vertices=65_000, edge_factor=8, seed=4), 4),
+]
+
+QUICK_CONFIGS = [
+    ("powerlaw-5k-p2", dict(kind="powerlaw", vertices=5_000, seed=1), 2),
+    ("powerlaw-5k-p4", dict(kind="powerlaw", vertices=5_000, seed=1), 4),
+]
+
+#: apps swept per configuration (registry spec strings).
+APPS_UNDER_TEST = ("pagerank", "cc")
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def cpus_available() -> int:
+    """Schedulable CPUs (affinity-aware where the platform supports it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _time_run(engine, dgraph, make_prog, repeats):
+    """Best-of-``repeats`` wall-clock; returns (seconds, best run)."""
+    best_s = float("inf")
+    best_run = None
+    for _ in range(repeats):
+        program = make_prog()
+        t0 = time.perf_counter()
+        run = engine.run(dgraph, program)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_s:
+            best_s = elapsed
+            best_run = run
+    return best_s, best_run
+
+
+def run_config(name, gen_kwargs, p, repeats, pagerank_iters):
+    graph = generate_graph(**gen_kwargs)
+    result = DBHPartitioner().partition(graph, p)
+    dgraph = build_distributed_graph(result)
+
+    apps = {
+        "pagerank": lambda: make_program("PR", graph, pagerank_iters=pagerank_iters),
+        "cc": lambda: make_program("CC", graph),
+    }
+
+    record = {
+        "config": name,
+        "graph": {
+            "kind": gen_kwargs["kind"],
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        },
+        "partitioner": DBHPartitioner.name,
+        "num_parts": p,
+        "replication_factor": dgraph.replication_factor(),
+        "apps": {},
+    }
+
+    for app in APPS_UNDER_TEST:
+        per_backend = {}
+        for backend_name in BACKEND_NAMES:
+            engine = BSPEngine(backend=BACKENDS.create(backend_name))
+            total_s, run = _time_run(engine, dgraph, apps[app], repeats)
+            stages = run.real_stage_seconds()
+            compute_s = stages.get("compute", 0.0)
+            exchange_s = stages.get("exchange", 0.0)
+            per_backend[backend_name] = {
+                "total_s": total_s,
+                "supersteps": run.num_supersteps,
+                "stage_s": {
+                    "compute": compute_s,
+                    "exchange": exchange_s,
+                    # pool/session startup, initial-value allocation and
+                    # the final gather — everything outside supersteps.
+                    "overhead": max(0.0, total_s - compute_s - exchange_s),
+                },
+                "per_superstep_s": {
+                    "compute": compute_s / max(1, run.num_supersteps),
+                    "exchange": exchange_s / max(1, run.num_supersteps),
+                },
+            }
+        serial_total = per_backend["serial"]["total_s"]
+        for backend_name in BACKEND_NAMES:
+            entry = per_backend[backend_name]
+            entry["speedup_vs_serial"] = (
+                serial_total / entry["total_s"] if entry["total_s"] > 0 else float("inf")
+            )
+        record["apps"][app] = per_backend
+    return record
+
+
+def speedup_note(record, app, ncpus, required):
+    """Explain why ``app`` missed ``required``× on the process backend."""
+    entry = record["apps"][app]["process"]
+    serial = record["apps"][app]["serial"]
+    p = record["num_parts"]
+    if ncpus < 2:
+        return (
+            f"{record['config']}/{app}: only {ncpus} CPU schedulable on this "
+            f"host — the parallel compute stage cannot outrun serial on one "
+            f"core (process backend {entry['speedup_vs_serial']:.2f}x). "
+            f"Re-run on a >=2-core host to measure real scaling."
+        )
+    # With real cores available, bound the achievable speedup by Amdahl:
+    # exchange runs in the coordinator, compute scales across workers.
+    total = serial["total_s"]
+    exchange = serial["stage_s"]["exchange"]
+    compute = serial["stage_s"]["compute"]
+    bound = total / (exchange + compute / min(p, ncpus)) if total > 0 else 1.0
+    overhead = entry["stage_s"]["overhead"]
+    limiter = (
+        "the coordinator-serial replica-exchange stage"
+        if exchange >= overhead
+        else "session startup/teardown overhead"
+    )
+    return (
+        f"{record['config']}/{app}: process backend reached "
+        f"{entry['speedup_vs_serial']:.2f}x (< {required:.2f}x); limiting "
+        f"stage is {limiter} (serial walls: compute {compute:.3f}s, "
+        f"exchange {exchange:.3f}s; Amdahl bound at p={p} on {ncpus} CPUs "
+        f"is {bound:.2f}x)."
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small graphs for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent / "out" / "BENCH_runtime.json",
+        help="output JSON path (default: benchmarks/out/BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per (app, backend) pair (best-of)",
+    )
+    parser.add_argument(
+        "--pagerank-iters", type=int, default=10,
+        help="PageRank iterations for the BSP runs",
+    )
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless the process backend is >= X times faster than "
+        "serial on PageRank for every config (skipped, with a documented "
+        "note, when <2 CPUs are schedulable)",
+    )
+    args = parser.parse_args(argv)
+
+    ncpus = cpus_available()
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    records = []
+    notes = []
+    threshold = args.check_speedup if args.check_speedup is not None else 1.5
+    for name, gen_kwargs, p in configs:
+        rec = run_config(name, gen_kwargs, p, args.repeats, args.pagerank_iters)
+        records.append(rec)
+        for app in APPS_UNDER_TEST:
+            row = rec["apps"][app]
+            line = " ".join(
+                f"{b}={row[b]['total_s']:.3f}s({row[b]['speedup_vs_serial']:.2f}x)"
+                for b in BACKEND_NAMES
+            )
+            print(
+                f"{name:20s} {app:8s} p={rec['num_parts']:<3d} "
+                f"supersteps={row['serial']['supersteps']:<3d} {line}"
+            )
+            if row["process"]["speedup_vs_serial"] < threshold:
+                notes.append(speedup_note(rec, app, ncpus, threshold))
+
+    payload = {
+        "benchmark": "bench_runtime",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus_available": ncpus,
+        "apps": list(APPS_UNDER_TEST),
+        "backends": list(BACKEND_NAMES),
+        "speedup_notes": notes,
+        "results": records,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    for note in notes:
+        print(f"note: {note}")
+
+    if args.check_speedup is not None:
+        if ncpus < 2:
+            print(
+                f"speedup check skipped: {ncpus} CPU schedulable; see "
+                f"speedup_notes in {args.out.name} for the documented limit"
+            )
+            return 0
+        slow = [
+            r for r in records
+            if r["apps"]["pagerank"]["process"]["speedup_vs_serial"] < args.check_speedup
+        ]
+        if slow:
+            for r in slow:
+                print(
+                    f"FAIL: {r['config']} process backend only "
+                    f"{r['apps']['pagerank']['process']['speedup_vs_serial']:.2f}x "
+                    f"vs serial (required {args.check_speedup:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"speedup check passed (>= {args.check_speedup:.2f}x everywhere)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

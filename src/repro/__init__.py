@@ -48,14 +48,31 @@ Execution (:mod:`repro.bsp` + :mod:`repro.apps`)::
     run = BSPEngine().run(build_distributed_graph(result), ConnectedComponents())
     # run.partition_method is inherited from the partition result
 
+Parallel runtimes (:mod:`repro.runtime`) — the computation stage on a
+thread pool or a persistent shared-memory process pool, bit-identical
+to the serial reference::
+
+    run = BSPEngine(backend="process").run(dgraph, ConnectedComponents())
+    run.real_stage_seconds()   # measured {"compute", "exchange"} walls
+
 Experiments (:mod:`repro.experiments`) — every paper table and figure::
 
     from repro.experiments import run_table1, run_fig2, run_tables345
 """
 
-from . import analysis, apps, bsp, experiments, frameworks, graph, partition, pipeline
+from . import (
+    analysis,
+    apps,
+    bsp,
+    experiments,
+    frameworks,
+    graph,
+    partition,
+    pipeline,
+    runtime,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -66,5 +83,6 @@ __all__ = [
     "graph",
     "partition",
     "pipeline",
+    "runtime",
     "__version__",
 ]

@@ -1,42 +1,58 @@
 """The subgraph-centric bulk synchronous parallel engine.
 
-This is the simulated stand-in for DRONE (Section IV-B): the graph is
-divided into subgraphs, each bound to one worker, and processing is
-iterative in supersteps of three stages — computation (each worker runs
-its sequential algorithm over its subgraph), communication (messages
-flow only between replicas of the same vertex: mirrors push to masters,
+This is the stand-in for DRONE (Section IV-B): the graph is divided
+into subgraphs, each bound to one worker, and processing is iterative
+in supersteps of three stages — computation (each worker runs its
+sequential algorithm over its subgraph), communication (messages flow
+only between replicas of the same vertex: mirrors push to masters,
 masters broadcast combined values back), and synchronization (the
 barrier; the slowest worker determines superstep wall time).
 
-Message counts are exact — every replica value transfer is tallied on
-the sending and receiving worker — while time is produced by the
-deterministic :class:`~repro.bsp.cost_model.CostModel` (see DESIGN.md §3
-for why this preserves the paper's comparisons).
+The engine owns the superstep *orchestration* — replica exchange,
+convergence, accounting — while the computation stage executes on a
+pluggable :mod:`repro.runtime` backend (``serial``, ``thread`` or
+``process``), all of which produce bit-identical results.  Two clocks
+are recorded per superstep: real wall-clock per stage (what this
+machine and backend actually took — see ``SuperstepStats.real_seconds``)
+and the deterministic :class:`~repro.bsp.cost_model.CostModel`
+accounting, which models the paper's 4-node cluster and remains
+authoritative for all paper figures (see DESIGN.md §3 and the
+:mod:`repro.runtime` package docstring).  Message counts are exact —
+every replica value transfer is tallied on the sending and receiving
+worker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .cost_model import CostModel
 from .distributed import DistributedGraph
-from .program import ACCUMULATE, MINIMIZE, ComputeResult, SubgraphProgram
+from .program import ACCUMULATE, MINIMIZE, SubgraphProgram
 
 __all__ = ["SuperstepStats", "BSPRun", "BSPEngine"]
 
 
 @dataclass
 class SuperstepStats:
-    """Per-worker accounting for one superstep (arrays of length p)."""
+    """Per-worker accounting for one superstep (arrays of length p).
+
+    ``comp_seconds``/``comm_seconds`` are the deterministic cost-model
+    clocks; ``real_seconds`` maps stage name (``"compute"``,
+    ``"exchange"``) to measured wall-clock for this superstep on the
+    executing backend.
+    """
 
     work: np.ndarray
     sent: np.ndarray
     received: np.ndarray
     comp_seconds: np.ndarray
     comm_seconds: np.ndarray
+    real_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def wall_seconds(self) -> float:
@@ -60,6 +76,8 @@ class BSPRun:
     num_workers: int
     supersteps: List[SuperstepStats] = field(default_factory=list)
     values: Optional[np.ndarray] = None
+    #: name of the runtime backend that executed the computation stages.
+    backend: str = "serial"
 
     # ------------------------------------------------------------------
     # Aggregates used by the paper's tables
@@ -110,6 +128,24 @@ class BSPRun:
         """Modeled wall time: Σ_k max_i(comp_i^k + comm_i^k)."""
         return float(sum(s.wall_seconds for s in self.supersteps))
 
+    # ------------------------------------------------------------------
+    # Real wall-clock aggregates (backend benchmarking; the cost-model
+    # aggregates above stay authoritative for paper artifacts)
+    # ------------------------------------------------------------------
+
+    def real_stage_seconds(self) -> Dict[str, float]:
+        """Measured wall-clock summed over supersteps, keyed by stage."""
+        totals: Dict[str, float] = {}
+        for s in self.supersteps:
+            for stage, seconds in s.real_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    @property
+    def real_time(self) -> float:
+        """Total measured superstep wall-clock (all stages)."""
+        return float(sum(self.real_stage_seconds().values()))
+
     def worker_timeline(self) -> List[List[Tuple[float, float, float]]]:
         """Per worker, per superstep ``(comp, comm, sync)`` second triples.
 
@@ -140,53 +176,77 @@ class BSPEngine:
     max_supersteps:
         Safety cap; minimize-mode programs normally terminate on
         quiescence well before this.
+    backend:
+        Computation-stage executor: a :class:`repro.runtime.Backend`
+        instance, a backend name (``"serial"``, ``"thread"``,
+        ``"process"``), or ``None`` for the serial reference.  Backends
+        change wall-clock time only — results and cost-model accounting
+        are identical across all of them.
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None, max_supersteps: int = 500):
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        max_supersteps: int = 500,
+        backend: Union[None, str, "object"] = None,
+    ):
         self.cost_model = cost_model or CostModel()
         self.max_supersteps = max_supersteps
+        self.backend = backend
+
+    def _resolve_backend(self):
+        """Materialize the configured backend (lazy import, no cycles)."""
+        from ..runtime import Backend, SerialBackend, create_backend
+
+        if self.backend is None:
+            return SerialBackend()
+        if isinstance(self.backend, str):
+            return create_backend(self.backend)
+        if not isinstance(self.backend, Backend):
+            raise TypeError(
+                f"backend must be None, a name, or a repro.runtime.Backend; "
+                f"got {type(self.backend).__name__}"
+            )
+        return self.backend
 
     def run(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
         """Execute ``program`` to completion and return the full record."""
-        if program.mode == MINIMIZE:
-            return self._run_minimize(dgraph, program)
-        if program.mode == ACCUMULATE:
-            return self._run_accumulate(dgraph, program)
-        raise ValueError(f"unknown program mode {program.mode!r}")
+        if program.mode not in (MINIMIZE, ACCUMULATE):
+            raise ValueError(f"unknown program mode {program.mode!r}")
+        backend = self._resolve_backend()
+        with backend.session(dgraph, program) as session:
+            if program.mode == MINIMIZE:
+                return self._run_minimize(dgraph, program, session)
+            return self._run_accumulate(dgraph, program, session)
 
     # ------------------------------------------------------------------
     # Minimize mode (CC, SSSP, BFS)
     # ------------------------------------------------------------------
 
-    def _run_minimize(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
+    def _run_minimize(
+        self, dgraph: DistributedGraph, program: SubgraphProgram, session
+    ) -> BSPRun:
         p = dgraph.num_workers
-        values = [program.initial_values(l) for l in dgraph.locals]
-        active = [program.initial_active(l) for l in dgraph.locals]
+        values = session.state.values
+        active = session.state.active
+        changed = session.state.changed
         run = BSPRun(
             program=program.name,
             partition_method=dgraph.partition_method,
             graph_name=dgraph.graph.name,
             num_workers=p,
+            backend=session.backend_name,
         )
         for _ in range(self.max_supersteps):
-            work = np.zeros(p)
+            if not any(bool(a.any()) for a in active):
+                break
+            t0 = perf_counter()
+            work = session.compute_stage()
+            t_compute = perf_counter() - t0
+
+            t0 = perf_counter()
             sent = np.zeros(p, dtype=np.int64)
             received = np.zeros(p, dtype=np.int64)
-            changed: List[np.ndarray] = []
-            any_active = any(bool(a.any()) for a in active)
-            if not any_active:
-                break
-            for w, local in enumerate(dgraph.locals):
-                if active[w].any():
-                    res = program.compute(local, values[w], active[w])
-                    work[w] = res.work_units
-                    changed.append(res.changed)
-                else:
-                    changed.append(np.zeros(local.num_vertices, dtype=bool))
-                if program.reactivate_changed:
-                    active[w] = changed[w].copy()
-                else:
-                    active[w] = np.zeros(local.num_vertices, dtype=bool)
 
             # Communication stage 1: changed mirrors push to masters.
             master_dirty = [c & l.is_master for c, l in zip(changed, dgraph.locals)]
@@ -221,8 +281,11 @@ class BSPEngine:
                 if better.any():
                     values[w][dst_idx[better]] = vals[better]
                     active[w][dst_idx[better]] = True
+            t_exchange = perf_counter() - t0
 
-            run.supersteps.append(self._stats(work, sent, received))
+            run.supersteps.append(
+                self._stats(work, sent, received, t_compute, t_exchange)
+            )
             if not any(bool(a.any()) for a in active):
                 break
         run.values = dgraph.gather_master_values(values, default=0)
@@ -232,31 +295,33 @@ class BSPEngine:
     # Accumulate mode (PageRank)
     # ------------------------------------------------------------------
 
-    def _run_accumulate(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
+    def _run_accumulate(
+        self, dgraph: DistributedGraph, program: SubgraphProgram, session
+    ) -> BSPRun:
         p = dgraph.num_workers
-        values = [program.initial_values(l) for l in dgraph.locals]
+        values = session.state.values
+        changed = session.state.changed
+        partials = session.state.partials
         run = BSPRun(
             program=program.name,
             partition_method=dgraph.partition_method,
             graph_name=dgraph.graph.name,
             num_workers=p,
+            backend=session.backend_name,
         )
         for step in range(self.max_supersteps):
-            work = np.zeros(p)
+            t0 = perf_counter()
+            work = session.compute_stage()
+            t_compute = perf_counter() - t0
+
+            t0 = perf_counter()
             sent = np.zeros(p, dtype=np.int64)
             received = np.zeros(p, dtype=np.int64)
-            partials: List[np.ndarray] = []
-            send_mask: List[np.ndarray] = []
-            for w, local in enumerate(dgraph.locals):
-                res = program.compute(local, values[w], None)
-                work[w] = res.work_units
-                partials.append(res.partials)
-                send_mask.append(res.changed)
 
             # Stage 1: mirrors push partial sums to masters.
             sums = [part.copy() for part in partials]
             for (w, mw), route in dgraph.up_routes.items():
-                sel = send_mask[w][route.src_index]
+                sel = changed[w][route.src_index]
                 if not sel.any():
                     continue
                 src_idx = route.src_index[sel]
@@ -268,12 +333,10 @@ class BSPEngine:
 
             # Apply at masters, track the global change for convergence.
             global_delta = 0.0
-            new_master: List[np.ndarray] = []
             for w, local in enumerate(dgraph.locals):
                 new_vals = program.apply(local, values[w], sums[w])
                 mask = local.is_master
                 global_delta += float(np.abs(new_vals[mask] - values[w][mask]).sum())
-                new_master.append(new_vals)
                 values[w][mask] = new_vals[mask]
 
             # Stage 2: masters broadcast the new values to all mirrors.
@@ -282,8 +345,11 @@ class BSPEngine:
                 sent[mw] += n_msgs
                 received[w] += n_msgs
                 values[w][route.dst_index] = values[mw][route.src_index]
+            t_exchange = perf_counter() - t0
 
-            run.supersteps.append(self._stats(work, sent, received))
+            run.supersteps.append(
+                self._stats(work, sent, received, t_compute, t_exchange)
+            )
             if program.has_converged(step, global_delta):
                 break
         run.values = dgraph.gather_master_values(values, default=0.0)
@@ -292,7 +358,12 @@ class BSPEngine:
     # ------------------------------------------------------------------
 
     def _stats(
-        self, work: np.ndarray, sent: np.ndarray, received: np.ndarray
+        self,
+        work: np.ndarray,
+        sent: np.ndarray,
+        received: np.ndarray,
+        t_compute: float,
+        t_exchange: float,
     ) -> SuperstepStats:
         comp = self.cost_model.seconds_per_work_unit * work + self.cost_model.superstep_overhead
         comm = self.cost_model.seconds_per_message * (sent + received).astype(np.float64)
@@ -302,4 +373,5 @@ class BSPEngine:
             received=received,
             comp_seconds=comp,
             comm_seconds=comm,
+            real_seconds={"compute": t_compute, "exchange": t_exchange},
         )

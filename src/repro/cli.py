@@ -21,6 +21,13 @@ spec strings with constructor kwargs, e.g.::
     python -m repro partition graph.txt --method "ebv?alpha=2,sort_order=input"
     python -m repro run graph.txt --app "pr?pagerank_iters=10"
 
+``run`` executes on a :mod:`repro.runtime` backend selected with
+``--backend`` (``serial``, ``thread``, or ``process`` — a persistent
+worker pool over shared memory); results are identical on every
+backend, only real wall-clock changes::
+
+    python -m repro run graph.txt --app pagerank --backend process
+
 Pipeline specs
 --------------
 ``python -m repro pipeline spec.json`` executes one serialized run —
@@ -33,6 +40,7 @@ a single JSON object::
       "parts": 8,
       "refine": true,
       "app": "pagerank",
+      "backend": "process",
       "cost_model": {"seconds_per_message": 2e-7}
     }
 
@@ -145,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--workers", type=int, default=8)
     run.add_argument("--source", type=int, default=None, help="SSSP/BFS source")
+    run.add_argument(
+        "--backend",
+        type=_registry_arg(registries.BACKENDS),
+        default="serial",
+        help=(
+            "runtime backend spec (e.g. 'process?start_method=spawn'); "
+            f"available: {', '.join(registries.BACKENDS.names())}"
+        ),
+    )
 
     pipe = sub.add_parser("pipeline", help="execute a JSON pipeline spec")
     pipe.add_argument("spec", help="path to a JSON spec file, or '-' for stdin")
@@ -218,6 +235,7 @@ def _cmd_run(args) -> int:
             .source(g)
             .partition(args.method, parts=args.workers)
             .run(args.app, **overrides)
+            .backend(args.backend)
             .execute()
         )
     except (SpecError, RegistryError) as exc:
@@ -227,11 +245,12 @@ def _cmd_run(args) -> int:
     row = breakdown_row(run)
     print(
         render_table(
-            ["App", "Method", "Workers", "Supersteps", "Messages",
+            ["App", "Method", "Backend", "Workers", "Supersteps", "Messages",
              "comp", "comm", "dC", "time"],
-            [(app_name.upper(), row.method, args.workers, run.num_supersteps,
-              run.total_messages, f"{row.comp:.4f}", f"{row.comm:.4f}",
-              f"{row.delta_c:.4f}", f"{row.execution_time:.4f}")],
+            [(app_name.upper(), row.method, run.backend, args.workers,
+              run.num_supersteps, run.total_messages, f"{row.comp:.4f}",
+              f"{row.comm:.4f}", f"{row.delta_c:.4f}",
+              f"{row.execution_time:.4f}")],
         )
     )
     if app_name in ("sssp", "bfs"):

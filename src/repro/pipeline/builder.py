@@ -45,7 +45,7 @@ from ..bsp import (
 )
 from ..graph import Graph
 from ..partition import PartitionMetrics, PartitionResult, partition_metrics, refine_vertex_cut
-from .registries import APPS, GENERATORS, PARTITIONERS
+from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS
 from .registry import RegistryError, format_spec, parse_spec
 from .spec import PipelineSpec, SpecError
 
@@ -117,6 +117,7 @@ class PipelineResult:
         if self.run is not None:
             run_summary = {
                 "program": self.run.program,
+                "backend": self.run.backend,
                 "partition_method": self.run.partition_method,
                 "num_workers": self.run.num_workers,
                 "num_supersteps": self.run.num_supersteps,
@@ -170,6 +171,7 @@ class Pipeline:
         self._refine_options: Dict[str, Any] = {}
         self._app_spec: Optional[str] = None
         self._app_overrides: Dict[str, Any] = {}
+        self._backend_spec: str = "serial"
         self._cost_model: Optional[CostModel] = None
 
     # ------------------------------------------------------------------
@@ -214,6 +216,21 @@ class Pipeline:
         self._app_spec = _merge_spec(app, scalars)
         return self
 
+    def backend(self, backend: str = "serial", **kwargs: Any) -> "Pipeline":
+        """Choose the runtime backend executing the BSP computation stage.
+
+        Accepts full spec strings (``"process?start_method=spawn"``) or
+        a bare name plus kwargs; results are identical on every backend
+        (see :mod:`repro.runtime`), only wall-clock time changes.
+        """
+        scalars, objects = _split_kwargs(kwargs)
+        if objects:
+            raise SpecError(
+                f"backend options must be scalars, got objects for {sorted(objects)}"
+            )
+        self._backend_spec = _merge_spec(backend, scalars)
+        return self
+
     def with_cost_model(self, cost_model: Optional[CostModel] = None, **kwargs: Any) -> "Pipeline":
         """Override the BSP cost model (instance or field overrides)."""
         if cost_model is not None and kwargs:
@@ -235,6 +252,7 @@ class Pipeline:
         pipe._refine = spec.refine
         pipe._refine_options = dict(spec.refine_options)
         pipe._app_spec = spec.app
+        pipe._backend_spec = spec.backend
         pipe._cost_model = spec.build_cost_model()
         return pipe
 
@@ -267,6 +285,7 @@ class Pipeline:
             refine=self._refine,
             refine_options=dict(self._refine_options),
             app=self._app_spec,
+            backend=self._backend_spec,
             cost_model=(
                 None if self._cost_model is None else dataclasses.asdict(self._cost_model)
             ),
@@ -328,11 +347,18 @@ class Pipeline:
                 "run",
                 lambda: APPS.create(self._app_spec, graph, **self._app_overrides),
             )
-            engine = BSPEngine(cost_model=self._cost_model)
+            backend = _stage("run", lambda: BACKENDS.create(self._backend_spec))
+            engine = BSPEngine(cost_model=self._cost_model, backend=backend)
             run = engine.run(dgraph, program)
             timings["run"] = perf_counter() - t0
 
         timings["total"] = sum(timings.values())
+        if run is not None:
+            # Sub-stage walls measured inside the engine; dotted keys so
+            # they read as components of "run", not extra stages (they
+            # are intentionally excluded from "total").
+            for stage, seconds in run.real_stage_seconds().items():
+                timings[f"run.{stage}"] = seconds
         return PipelineResult(
             graph=graph,
             partition=result,

@@ -1,4 +1,4 @@
-"""The four concrete registries every entry point routes through.
+"""The five concrete registries every entry point routes through.
 
 * :data:`PARTITIONERS` — every partition algorithm in the code base,
   including the streaming/sharded EBV variants and the two random
@@ -9,6 +9,9 @@
 * :data:`GENERATORS` — graph sources: the synthetic generators (uniform
   ``vertices=`` sizing via :func:`repro.graph.generate_graph`) plus a
   ``file`` source that reads an edge list from disk.
+* :data:`BACKENDS` — the :mod:`repro.runtime` execution backends for
+  the BSP computation stage (``serial``, ``thread``, ``process``);
+  factories take constructor kwargs only.
 * :data:`EXPERIMENTS` — the paper-artifact drivers; factories take an
   :class:`~repro.experiments.ExperimentConfig` and return report text.
 
@@ -47,9 +50,10 @@ from ..partition import (
     ShardedEBVPartitioner,
     StreamingEBVPartitioner,
 )
+from ..runtime import BACKEND_TYPES
 from .registry import Registry
 
-__all__ = ["PARTITIONERS", "APPS", "GENERATORS", "EXPERIMENTS"]
+__all__ = ["PARTITIONERS", "APPS", "GENERATORS", "BACKENDS", "EXPERIMENTS"]
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +120,17 @@ for _kind in GENERATOR_KINDS:
 def _file_source(path: str, **kwargs):
     """Read an edge list from disk (``"file?path=graph.txt"``)."""
     return read_edge_list(path, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Execution backends
+# ----------------------------------------------------------------------
+
+BACKENDS = Registry("backend")
+
+_BACKEND_ALIASES = {"thread": ("threads",), "process": ("mp",)}
+for _name, _backend_cls in BACKEND_TYPES.items():
+    BACKENDS.register(_name, _backend_cls, aliases=_BACKEND_ALIASES.get(_name, ()))
 
 
 # ----------------------------------------------------------------------

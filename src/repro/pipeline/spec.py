@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..bsp import CostModel
-from .registries import APPS, GENERATORS, PARTITIONERS
+from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS
 from .registry import RegistryError, format_spec, parse_spec
 
 __all__ = ["PipelineSpec", "SpecError"]
@@ -71,6 +71,11 @@ class PipelineSpec:
     app:
         Optional application spec (``"pr?pagerank_iters=10"``); when
         ``None`` the pipeline stops after partition metrics.
+    backend:
+        Runtime backend spec for the BSP computation stage
+        (``"serial"``, ``"thread"``, ``"process?start_method=spawn"``;
+        see :mod:`repro.runtime`).  Backends change wall-clock time
+        only — results are identical across all of them.
     cost_model:
         Optional :class:`~repro.bsp.CostModel` overrides by field name.
     """
@@ -81,6 +86,7 @@ class PipelineSpec:
     refine: bool = False
     refine_options: Dict[str, Any] = field(default_factory=dict)
     app: Optional[str] = None
+    backend: str = "serial"
     cost_model: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
@@ -101,6 +107,7 @@ class PipelineSpec:
             raise SpecError(f"'parts' must be >= 1, got {self.parts}")
         if self.app is not None:
             self.app = _canonical_component(self.app, APPS, "app")
+        self.backend = _canonical_component(self.backend, BACKENDS, "backend")
         if self.cost_model is not None:
             if not isinstance(self.cost_model, dict):
                 raise SpecError("'cost_model' must be a dict of CostModel fields")
@@ -146,6 +153,7 @@ class PipelineSpec:
             "refine": self.refine,
             "refine_options": dict(self.refine_options),
             "app": self.app,
+            "backend": self.backend,
             "cost_model": None if self.cost_model is None else dict(self.cost_model),
         }
 

@@ -1,0 +1,109 @@
+"""``repro.runtime`` — pluggable parallel execution for the BSP engine.
+
+The paper's engine (DRONE, Section IV-B) runs subgraph workers on a
+real cluster; this package is the shared-memory analogue.  It executes
+:class:`~repro.bsp.program.SubgraphProgram` supersteps *genuinely* in
+parallel while the :class:`~repro.bsp.engine.BSPEngine` keeps owning
+the superstep contract — compute, replica exchange, barrier — so every
+backend produces bit-identical results to the serial reference.
+
+Backend contract
+----------------
+A :class:`Backend` opens a :class:`BackendSession` per program run.
+The session exposes the per-worker state arrays (values / active /
+changed / partials) and one operation, ``compute_stage()``, which runs
+:func:`repro.runtime.worker.superstep_compute` for every worker and
+blocks until all of them finish (the first half of the BSP barrier).
+The engine then performs the replica exchange directly on the session's
+arrays — masters and mirrors trade values through shared memory, never
+through per-superstep serialization.  Three backends ship:
+
+``serial``
+    The reference: workers run sequentially in the calling process.
+``thread``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`;
+    workers share the engine's heap arrays, parallelism comes from
+    numpy releasing the GIL inside bulk kernels.
+``process``
+    A persistent ``multiprocessing`` pool.  Each child receives its
+    :class:`~repro.bsp.distributed.LocalSubgraph` and program once, at
+    session start, and holds them for the whole run.
+
+Shared-memory layout (process backend)
+--------------------------------------
+Per worker ``w``, one ``multiprocessing.shared_memory`` block per state
+array, created by the parent and mapped by child ``w``:
+
+===========  =========================  ===============================
+array        shape / dtype              written by
+===========  =========================  ===============================
+``values``   ``initial_values`` shape   child (compute), parent (exchange)
+``active``   ``(n_local,)`` bool        child (activation), parent (exchange)
+``changed``  ``(n_local,)`` bool        child (compute); parent reads
+``partials`` ``values``-shaped          child (compute); parent reads
+===========  =========================  ===============================
+
+``active`` exists only for minimize-mode programs, ``partials`` only
+for accumulate mode.  The parent owns every block's lifetime and
+unlinks it at session close; children only ever ``close()`` their
+mappings (they share the parent's resource tracker, so their
+attach-time registration is a set-level no-op — see
+:mod:`repro.runtime.shm`).
+
+Real time vs. modeled time
+--------------------------
+Runs now record *both* clocks.  Real wall-clock per superstep stage
+(``SuperstepStats.real_seconds``) measures this machine and backend —
+use it for runtime benchmarks (``benchmarks/bench_runtime.py``).  The
+deterministic :class:`~repro.bsp.cost_model.CostModel` accounting is
+unchanged and remains **authoritative for every paper artifact**
+(Tables II–V, Figures 2–5): those figures model a 4-node cluster's cost
+ratios, which no single shared-memory host reproduces, and they must
+stay identical across backends, machines and CI runs.
+"""
+
+from __future__ import annotations
+
+from .base import Backend, BackendError, BackendSession, WorkerState, allocate_state
+from .process import ProcessBackend
+from .serial import SerialBackend
+from .threads import ThreadBackend
+from .worker import superstep_compute
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendSession",
+    "WorkerState",
+    "allocate_state",
+    "superstep_compute",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKEND_TYPES",
+    "create_backend",
+]
+
+#: canonical name -> backend class; :data:`repro.pipeline.registries.BACKENDS`
+#: is the registry view over this mapping.
+BACKEND_TYPES = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def create_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a backend by canonical name (engine-level front door).
+
+    The pipeline layer resolves full ``"name?key=val"`` spec strings via
+    :data:`repro.pipeline.registries.BACKENDS`; this helper serves code
+    that holds a bare name (e.g. ``BSPEngine(backend="process")``).
+    """
+    try:
+        cls = BACKEND_TYPES[name.strip().lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(sorted(BACKEND_TYPES))}"
+        ) from None
+    return cls(**kwargs)

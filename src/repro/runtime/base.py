@@ -1,0 +1,153 @@
+"""The backend contract: sessions, worker state, and allocation.
+
+A :class:`Backend` turns a routed
+:class:`~repro.bsp.distributed.DistributedGraph` plus a
+:class:`~repro.bsp.program.SubgraphProgram` into a
+:class:`BackendSession` — the live, resource-owning object the BSP
+engine drives for one program execution.  The engine's orchestration is
+backend-agnostic: it only ever
+
+1. reads/writes the per-worker arrays in :attr:`BackendSession.state`
+   (the replica exchange and convergence checks), and
+2. calls :meth:`BackendSession.compute_stage` to run the computation
+   stage of one superstep on every worker, however the backend sees fit
+   (sequentially, on a thread pool, or on a persistent process pool over
+   shared memory).
+
+The correctness contract for ``compute_stage`` is: after it returns,
+``state.values``/``state.active``/``state.changed`` (and
+``state.partials`` in accumulate mode) reflect exactly what
+:func:`repro.runtime.worker.superstep_compute` would have produced for
+every worker, and the returned array holds each worker's work units.
+Backends must produce *bit-identical* state to the serial reference —
+parallelism may only change wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..bsp.distributed import DistributedGraph
+from ..bsp.program import ACCUMULATE, MINIMIZE, SubgraphProgram
+
+__all__ = ["BackendError", "WorkerState", "BackendSession", "Backend", "allocate_state"]
+
+
+class BackendError(RuntimeError):
+    """A backend worker failed or its pool is unusable."""
+
+
+@dataclass
+class WorkerState:
+    """The per-worker arrays one program execution lives in.
+
+    All lists have length ``p`` (one entry per worker).  The engine
+    mutates these arrays *in place* during the replica-exchange stage;
+    backends must hand out arrays for which in-place mutation is visible
+    to their compute workers (trivially true for the serial and thread
+    backends, true via ``multiprocessing.shared_memory`` for the process
+    backend).
+
+    ``active`` is present only for minimize-mode programs, ``partials``
+    only for accumulate-mode programs; ``changed`` doubles as the
+    send mask in accumulate mode.
+    """
+
+    values: List[np.ndarray]
+    changed: List[np.ndarray]
+    active: Optional[List[np.ndarray]] = None
+    partials: Optional[List[np.ndarray]] = None
+
+
+class BackendSession(abc.ABC):
+    """One program execution bound to a backend's execution resources.
+
+    Sessions are context managers; :meth:`close` must be idempotent and
+    release every resource (threads, processes, shared-memory blocks)
+    even after a worker error.
+    """
+
+    #: canonical backend name, stamped onto the resulting ``BSPRun``.
+    backend_name: str = "?"
+    state: WorkerState
+
+    @abc.abstractmethod
+    def compute_stage(self) -> np.ndarray:
+        """Run one computation stage on every worker; return work units.
+
+        Blocks until all workers finish (the first half of the BSP
+        barrier — the engine's exchange stage is the second half).
+        """
+
+    def close(self) -> None:
+        """Release the session's resources (idempotent)."""
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Backend(abc.ABC):
+    """A pluggable execution strategy for the BSP computation stage."""
+
+    #: canonical registry name ("serial", "thread", "process").
+    name: str = "?"
+
+    @abc.abstractmethod
+    def session(
+        self, dgraph: DistributedGraph, program: SubgraphProgram
+    ) -> BackendSession:
+        """Materialize worker state and stand up execution resources."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+#: ``alloc(worker_id, kind, template) -> array``: must return a writable
+#: array with the template's shape/dtype, initialized to its contents.
+AllocFn = Callable[[int, str, np.ndarray], np.ndarray]
+
+
+def _copy_alloc(worker_id: int, kind: str, template: np.ndarray) -> np.ndarray:
+    return np.array(template, copy=True)
+
+
+def allocate_state(
+    dgraph: DistributedGraph,
+    program: SubgraphProgram,
+    alloc: AllocFn = _copy_alloc,
+) -> WorkerState:
+    """Build the initial :class:`WorkerState` for one program execution.
+
+    ``alloc`` lets backends choose the storage (plain heap arrays by
+    default, shared-memory-backed arrays for the process backend) while
+    the initialization semantics — ``initial_values``/``initial_active``
+    per worker, zeroed partials, cleared change masks — stay in one
+    place for every backend.
+    """
+    if program.mode not in (MINIMIZE, ACCUMULATE):
+        raise ValueError(f"unknown program mode {program.mode!r}")
+    values: List[np.ndarray] = []
+    changed: List[np.ndarray] = []
+    active: List[np.ndarray] = []
+    partials: List[np.ndarray] = []
+    for w, local in enumerate(dgraph.locals):
+        init = np.asarray(program.initial_values(local))
+        values.append(alloc(w, "values", init))
+        changed.append(alloc(w, "changed", np.zeros(local.num_vertices, dtype=bool)))
+        if program.mode == MINIMIZE:
+            active.append(alloc(w, "active", np.asarray(program.initial_active(local))))
+        else:
+            partials.append(alloc(w, "partials", np.zeros_like(init)))
+    return WorkerState(
+        values=values,
+        changed=changed,
+        active=active if program.mode == MINIMIZE else None,
+        partials=partials if program.mode == ACCUMULATE else None,
+    )

@@ -1,0 +1,238 @@
+"""Process-pool backend: persistent workers over shared memory.
+
+The real-parallelism backend.  Each BSP worker is one long-lived
+``multiprocessing`` child that receives its :class:`LocalSubgraph` and
+program exactly once (pickled through its command pipe at session
+start) and holds them for the whole run.  The per-worker value, active,
+changed and partial arrays live in ``multiprocessing.shared_memory``
+blocks mapped by both sides, so masters and mirrors exchange replica
+values with zero per-superstep pickling: children mutate the arrays in
+place during compute, the parent runs the replica exchange directly on
+the same memory, and the only per-superstep pipe traffic is one
+("compute" → work-units) round trip per worker — the BSP barrier.
+
+Crash containment: a child that raises ships its formatted traceback
+back through the pipe and the parent raises :class:`BackendError`; a
+child that dies outright surfaces as ``EOFError`` on the pipe, reported
+with its exit code.  Session teardown (and a ``weakref.finalize``
+safety net) stops the pool and unlinks every shared block.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import weakref
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..bsp.distributed import DistributedGraph, LocalSubgraph
+from ..bsp.program import ACCUMULATE, SubgraphProgram
+from .base import Backend, BackendError, BackendSession, WorkerState, allocate_state
+from .shm import SharedArraySpec, attach_shared_array, create_shared_array, destroy_shared_array
+from .worker import superstep_compute
+
+__all__ = ["ProcessBackend"]
+
+#: seconds to wait for each child's startup handshake.
+_INIT_TIMEOUT = 120.0
+#: seconds to wait for children to exit after a "stop" command.
+_JOIN_TIMEOUT = 5.0
+
+
+def _worker_main(conn) -> None:
+    """Child entry point: map shared arrays, then serve compute commands."""
+    shms = []
+    try:
+        cmd, payload = conn.recv()
+        if cmd != "init":  # pragma: no cover - protocol guard
+            conn.send(("error", f"expected 'init', got {cmd!r}"))
+            return
+        local, program, specs = payload
+        arrays: Dict[str, np.ndarray] = {}
+        for kind, spec in specs.items():
+            shm, arr = attach_shared_array(spec)
+            shms.append(shm)
+            arrays[kind] = arr
+        conn.send(("ready", None))
+        while True:
+            cmd, _ = conn.recv()
+            if cmd == "stop":
+                break
+            if cmd != "compute":  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown command {cmd!r}"))
+                continue
+            try:
+                work = superstep_compute(
+                    program,
+                    local,
+                    arrays["values"],
+                    arrays.get("active"),
+                    arrays["changed"],
+                    arrays.get("partials"),
+                )
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+            else:
+                conn.send(("ok", work))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _cleanup(processes, conns, shm_blocks) -> None:
+    """Tear the pool down; safe to call twice and from a finalizer."""
+    for conn in conns:
+        try:
+            conn.send(("stop", None))
+        except Exception:
+            pass
+    for proc in processes:
+        proc.join(timeout=_JOIN_TIMEOUT)
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=_JOIN_TIMEOUT)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for shm in shm_blocks:
+        destroy_shared_array(shm)
+    processes.clear()
+    conns.clear()
+    shm_blocks.clear()
+
+
+class _ProcessSession(BackendSession):
+    backend_name = "process"
+
+    def __init__(
+        self,
+        dgraph: DistributedGraph,
+        program: SubgraphProgram,
+        ctx: multiprocessing.context.BaseContext,
+    ):
+        p = dgraph.num_workers
+        self._shm_blocks: List = []
+        self._specs: List[Dict[str, SharedArraySpec]] = [{} for _ in range(p)]
+        self._processes: List = []
+        self._conns: List = []
+        # Registered before any allocation so blocks created by a
+        # partially-failed allocate_state still get unlinked.
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._processes, self._conns, self._shm_blocks
+        )
+
+        def shared_alloc(worker_id: int, kind: str, template: np.ndarray) -> np.ndarray:
+            shm, array, spec = create_shared_array(template)
+            self._shm_blocks.append(shm)
+            self._specs[worker_id][kind] = spec
+            return array
+
+        try:
+            self.state: WorkerState = allocate_state(dgraph, program, shared_alloc)
+            for w in range(p):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn,),
+                    name=f"repro-bsp-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._processes.append(proc)
+                self._conns.append(parent_conn)
+                parent_conn.send(
+                    ("init", (dgraph.locals[w], program, self._specs[w]))
+                )
+            for w in range(p):
+                self._expect(w, "ready", timeout=_INIT_TIMEOUT)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+
+    def _expect(self, w: int, expected: str, timeout: Optional[float] = None):
+        """Receive one reply from worker ``w``, raising on errors/death."""
+        conn = self._conns[w]
+        if timeout is not None and not conn.poll(timeout):
+            raise BackendError(
+                f"worker {w} did not answer within {timeout:.0f}s "
+                f"(alive={self._processes[w].is_alive()})"
+            )
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            code = self._processes[w].exitcode
+            raise BackendError(
+                f"worker {w} died unexpectedly (exit code {code})"
+            ) from None
+        if status == "error":
+            raise BackendError(f"worker {w} failed:\n{payload}")
+        if status != expected:  # pragma: no cover - protocol guard
+            raise BackendError(f"worker {w}: expected {expected!r}, got {status!r}")
+        return payload
+
+    def compute_stage(self) -> np.ndarray:
+        if not self._finalizer.alive:
+            raise BackendError("session is closed")
+        p = len(self._conns)
+        work = np.zeros(p)
+        for conn in self._conns:
+            try:
+                conn.send(("compute", None))
+            except (BrokenPipeError, OSError) as exc:
+                raise BackendError(f"worker pool is down: {exc}") from exc
+        for w in range(p):
+            work[w] = self._expect(w, "ok")
+        return work
+
+    def close(self) -> None:
+        if self._finalizer.alive:
+            self._finalizer()
+
+
+class ProcessBackend(Backend):
+    """Persistent ``multiprocessing`` pool with shared-memory state.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheap startup, Linux) and the platform default
+        elsewhere.  ``"spawn"`` works everywhere but pays interpreter
+        startup per worker.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: Optional[str] = None):
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else None
+        elif start_method not in available:
+            raise ValueError(
+                f"start_method {start_method!r} not available; "
+                f"choose from {available}"
+            )
+        self.start_method = start_method
+
+    def session(
+        self, dgraph: DistributedGraph, program: SubgraphProgram
+    ) -> BackendSession:
+        ctx = multiprocessing.get_context(self.start_method)
+        return _ProcessSession(dgraph, program, ctx)

@@ -1,0 +1,53 @@
+"""The serial reference backend: today's in-process loop, made explicit.
+
+Runs every worker's computation stage sequentially in the calling
+process.  This is the ground truth the parallel backends are tested
+against, and the baseline ``benchmarks/bench_runtime.py`` measures
+speedups over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bsp.distributed import DistributedGraph
+from ..bsp.program import ACCUMULATE, SubgraphProgram
+from .base import Backend, BackendSession, allocate_state
+from .worker import superstep_compute
+
+__all__ = ["SerialBackend"]
+
+
+class _SerialSession(BackendSession):
+    backend_name = "serial"
+
+    def __init__(self, dgraph: DistributedGraph, program: SubgraphProgram):
+        self._dgraph = dgraph
+        self._program = program
+        self.state = allocate_state(dgraph, program)
+
+    def compute_stage(self) -> np.ndarray:
+        state = self.state
+        accumulate = self._program.mode == ACCUMULATE
+        work = np.zeros(self._dgraph.num_workers)
+        for w, local in enumerate(self._dgraph.locals):
+            work[w] = superstep_compute(
+                self._program,
+                local,
+                state.values[w],
+                None if accumulate else state.active[w],
+                state.changed[w],
+                state.partials[w] if accumulate else None,
+            )
+        return work
+
+
+class SerialBackend(Backend):
+    """Sequential execution in the calling process (the reference)."""
+
+    name = "serial"
+
+    def session(
+        self, dgraph: DistributedGraph, program: SubgraphProgram
+    ) -> BackendSession:
+        return _SerialSession(dgraph, program)

@@ -1,0 +1,87 @@
+"""Thread-pool backend: one persistent pool, workers share the arrays.
+
+Worker compute runs on a :class:`concurrent.futures.ThreadPoolExecutor`
+that lives for the whole session (no per-superstep pool churn).  All
+workers operate on the same heap arrays the engine sees, so there is no
+exchange-time copying at all; parallelism comes from numpy releasing
+the GIL inside its bulk kernels.  On pure-Python-heavy programs the GIL
+limits the achievable speedup — the process backend exists for exactly
+that case.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from ..bsp.distributed import DistributedGraph
+from ..bsp.program import ACCUMULATE, SubgraphProgram
+from .base import Backend, BackendSession, allocate_state
+from .worker import superstep_compute
+
+__all__ = ["ThreadBackend"]
+
+
+class _ThreadSession(BackendSession):
+    backend_name = "thread"
+
+    def __init__(
+        self,
+        dgraph: DistributedGraph,
+        program: SubgraphProgram,
+        max_workers: Optional[int],
+    ):
+        self._dgraph = dgraph
+        self._program = program
+        self.state = allocate_state(dgraph, program)
+        pool_size = dgraph.num_workers if max_workers is None else max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, pool_size), thread_name_prefix="repro-bsp"
+        )
+
+    def _compute_one(self, w: int) -> float:
+        state = self.state
+        accumulate = self._program.mode == ACCUMULATE
+        return superstep_compute(
+            self._program,
+            self._dgraph.locals[w],
+            state.values[w],
+            None if accumulate else state.active[w],
+            state.changed[w],
+            state.partials[w] if accumulate else None,
+        )
+
+    def compute_stage(self) -> np.ndarray:
+        p = self._dgraph.num_workers
+        futures = [self._pool.submit(self._compute_one, w) for w in range(p)]
+        # future.result() re-raises worker exceptions in submission order.
+        return np.array([f.result() for f in futures])
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ThreadBackend(Backend):
+    """Shared-memory threads; parallel inside numpy's GIL-free kernels.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to one thread per BSP worker.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and (
+            not isinstance(max_workers, int) or max_workers < 1
+        ):
+            raise ValueError(f"max_workers must be a positive integer, got {max_workers!r}")
+        self.max_workers = max_workers
+
+    def session(
+        self, dgraph: DistributedGraph, program: SubgraphProgram
+    ) -> BackendSession:
+        return _ThreadSession(dgraph, program, self.max_workers)

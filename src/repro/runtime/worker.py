@@ -1,0 +1,57 @@
+"""The per-worker computation-stage kernel every backend executes.
+
+This is the single definition of what "one worker's computation stage"
+means — the serial backend calls it inline, the thread backend calls it
+from pool threads, and the process backend calls it inside persistent
+child processes.  Centralizing the gating rule (skip workers with no
+active vertices) and the activation rule (reactivate changed vertices
+or clear, per ``program.reactivate_changed``) is what guarantees all
+backends produce bit-identical results: they run *this* function per
+worker and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bsp.distributed import LocalSubgraph
+from ..bsp.program import ACCUMULATE, SubgraphProgram
+
+__all__ = ["superstep_compute"]
+
+
+def superstep_compute(
+    program: SubgraphProgram,
+    local: LocalSubgraph,
+    values: np.ndarray,
+    active: Optional[np.ndarray],
+    changed: np.ndarray,
+    partials: Optional[np.ndarray],
+) -> float:
+    """Run one worker's computation stage in place; return work units.
+
+    Minimize mode mutates ``values`` (via ``program.compute``) and
+    ``active`` (the engine's activation rule); accumulate mode fills
+    ``partials`` and leaves ``values`` untouched.  ``changed`` always
+    receives the program's change/send mask.
+    """
+    if program.mode == ACCUMULATE:
+        res = program.compute(local, values, None)
+        changed[:] = res.changed
+        partials[:] = res.partials
+        return float(res.work_units)
+
+    if active.any():
+        res = program.compute(local, values, active)
+        changed[:] = res.changed
+        work = float(res.work_units)
+    else:
+        changed[:] = False
+        work = 0.0
+    if program.reactivate_changed:
+        active[:] = changed
+    else:
+        active[:] = False
+    return work

@@ -185,3 +185,48 @@ class TestSpecEquivalence:
         payload = json.loads(result.to_json())
         assert set(payload) == {"spec", "graph", "partition", "run", "timings"}
         assert payload["spec"]["app"] == "cc"
+
+
+class TestBackendStage:
+    def test_backend_round_trips_through_spec(self):
+        pipe = Pipeline().source(SOURCE).run("cc").backend("process")
+        spec = pipe.spec()
+        assert spec.backend == "process"
+        assert Pipeline.from_spec(spec).spec() == spec
+
+    def test_backend_kwargs_fold_into_spec(self):
+        spec = Pipeline().source(SOURCE).backend("thread", max_workers=2).spec()
+        assert spec.backend == "thread?max_workers=2"
+
+    def test_backend_rejects_object_kwargs(self):
+        with pytest.raises(SpecError, match="must be scalars"):
+            Pipeline().source(SOURCE).backend("thread", pool=object())
+
+    def test_unknown_backend_fails_before_any_work(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            Pipeline().source(SOURCE).run("cc").backend("gpu").execute()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_match_serial_results(self, backend):
+        base = {"source": SOURCE, "parts": 4, "app": "pr"}
+        serial = run_spec(dict(base, backend="serial"))
+        other = run_spec(dict(base, backend=backend))
+        assert other.run.backend == backend
+        assert np.array_equal(other.run.values, serial.run.values)
+        assert strip_timings(other.to_dict())["run"].pop("backend") == backend
+        serial_summary = strip_timings(serial.to_dict())["run"]
+        serial_summary.pop("backend")
+        assert strip_timings(other.to_dict())["run"] == dict(
+            serial_summary, backend=backend
+        )
+
+    def test_run_substage_walls_reported_in_timings(self):
+        result = run_spec({"source": SOURCE, "parts": 2, "app": "cc"})
+        assert "run.compute" in result.timings
+        assert "run.exchange" in result.timings
+        # Sub-stage walls are components of "run", not extra stages.
+        total_of_stages = sum(
+            v for k, v in result.timings.items()
+            if k != "total" and "." not in k
+        )
+        assert result.timings["total"] == pytest.approx(total_of_stages)

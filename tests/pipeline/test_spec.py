@@ -108,3 +108,38 @@ class TestRoundTrip:
     def test_from_json_rejects_invalid_json(self):
         with pytest.raises(SpecError, match="not valid JSON"):
             PipelineSpec.from_json("{not json")
+
+
+class TestBackendField:
+    def test_default_is_serial(self):
+        assert PipelineSpec(source="powerlaw").backend == "serial"
+
+    def test_backend_spec_is_canonicalized(self):
+        spec = PipelineSpec(source="powerlaw", backend="MP?start_method=fork")
+        assert spec.backend == "process?start_method=fork"
+        assert PipelineSpec(source="powerlaw", backend="threads").backend == "thread"
+
+    def test_unknown_backend_rejected_with_available_names(self):
+        with pytest.raises(
+            SpecError, match="invalid 'backend' spec: unknown backend 'gpu'"
+        ) as excinfo:
+            PipelineSpec(source="powerlaw", backend="gpu")
+        # The message must teach the fix: list what exists.
+        assert "process, serial, thread" in str(excinfo.value)
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(SpecError, match="'backend' must be a spec string"):
+            PipelineSpec(source="powerlaw", backend=4)
+
+    def test_backend_round_trips_through_dict_and_json(self):
+        spec = PipelineSpec(source="powerlaw", app="pr", backend="process")
+        assert spec.to_dict()["backend"] == "process"
+        assert PipelineSpec.from_dict(spec.to_dict()) == spec
+        assert PipelineSpec.from_json(spec.to_json()) == spec
+
+    def test_documents_without_backend_key_still_load(self):
+        """Pre-runtime JSON specs (no 'backend' entry) stay valid."""
+        spec = PipelineSpec.from_json(
+            json.dumps({"source": "powerlaw?vertices=200", "app": "cc"})
+        )
+        assert spec.backend == "serial"

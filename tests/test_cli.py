@@ -127,6 +127,33 @@ class TestRun:
         assert main(["run", edge_file, "--app", "pr?pagerank_iters=3"]) == 0
         assert "PR" in capsys.readouterr().out
 
+    def test_default_backend_is_serial(self, edge_file, capsys):
+        assert main(["run", edge_file, "--app", "CC"]) == 0
+        out = capsys.readouterr().out
+        assert "Backend" in out and "serial" in out
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends(self, edge_file, capsys, backend):
+        assert main(
+            ["run", edge_file, "--app", "CC", "--workers", "2",
+             "--backend", backend]
+        ) == 0
+        assert backend in capsys.readouterr().out
+
+    def test_backend_accepts_spec_kwargs(self, edge_file, capsys):
+        assert main(
+            ["run", edge_file, "--app", "CC", "--workers", "2",
+             "--backend", "thread?max_workers=1"]
+        ) == 0
+        assert "thread" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected_with_available_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "g.txt", "--backend", "gpu"])
+        err = capsys.readouterr().err
+        assert "unknown backend 'gpu'" in err
+        assert "process" in err and "serial" in err and "thread" in err
+
 
 class TestPipeline:
     def spec_path(self, tmp_path, payload):
@@ -159,6 +186,27 @@ class TestPipeline:
         payload = json.loads(capsys.readouterr().out)
         assert payload["run"]["program"] == "PR"
         assert payload["spec"]["app"] == "pr"
+
+    def test_spec_backend_field_reaches_the_run(self, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path,
+            {"source": "powerlaw?vertices=200,min_degree=2,seed=3", "parts": 2,
+             "app": "cc", "backend": "process"},
+        )
+        assert main(["pipeline", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"]["backend"] == "process"
+        assert payload["spec"]["backend"] == "process"
+        assert payload["timings"]["run.compute"] >= 0.0
+
+    def test_unknown_backend_in_spec_reports_error(self, tmp_path, capsys):
+        path = self.spec_path(
+            tmp_path,
+            {"source": "powerlaw?vertices=100", "app": "cc", "backend": "gpu"},
+        )
+        assert main(["pipeline", path]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'gpu'" in err and "serial" in err
 
     def test_file_source(self, edge_file, tmp_path, capsys):
         path = self.spec_path(
