@@ -55,6 +55,17 @@ to the serial reference::
     run = BSPEngine(backend="process").run(dgraph, ConnectedComponents())
     run.real_stage_seconds()   # measured {"compute", "exchange"} walls
 
+Out-of-core ingestion (:mod:`repro.stream`) — partition graphs that
+never fit in memory, chunk by chunk from disk, byte-identical to the
+in-memory path::
+
+    from repro.stream import TextEdgeListStream, stream_partition
+    from repro.partition import StreamingEBVPartitioner
+
+    spilled = stream_partition(TextEdgeListStream("huge.txt"),
+                               StreamingEBVPartitioner(), 8, "huge.spill")
+    dgraph = spilled.to_distributed()   # O(|E|) assembly, done last
+
 Experiments (:mod:`repro.experiments`) — every paper table and figure::
 
     from repro.experiments import run_table1, run_fig2, run_tables345
@@ -70,9 +81,10 @@ from . import (
     partition,
     pipeline,
     runtime,
+    stream,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -84,5 +96,6 @@ __all__ = [
     "partition",
     "pipeline",
     "runtime",
+    "stream",
     "__version__",
 ]

@@ -2,12 +2,21 @@
 
 Commands
 --------
-``generate``   write a synthetic graph to an edge-list file
-``stats``      print the Table I statistics row for an edge list
-``partition``  partition an edge list and print Section III-C metrics
-``run``        execute any registered app on a partitioned graph
-``pipeline``   execute a full JSON pipeline spec (see below)
-``experiment`` regenerate one of the paper's tables/figures
+``generate``         write a synthetic graph to an edge-list file
+``stats``            print the Table I statistics row for an edge list
+``partition``        partition an edge list and print Section III-C metrics
+``stream-partition`` partition an on-disk edge stream *out of core*
+``run``              execute any registered app on a partitioned graph
+``pipeline``         execute a full JSON pipeline spec (see below)
+``experiment``       regenerate one of the paper's tables/figures
+
+``stream-partition`` never loads the whole graph: the file is read in
+chunks, assignments stream to per-partition shard files in a spill
+directory (see :mod:`repro.stream`), and peak memory stays
+O(chunk + partitioner state) no matter how large the input is::
+
+    python -m repro stream-partition huge.txt --parts 16 \
+        --method "ebv-stream?chunk_size=4096" --spill-dir huge.spill
 
 Every command prints human-readable text to stdout; ``partition`` can
 additionally persist the per-edge assignment, and ``pipeline --json``
@@ -134,6 +143,48 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--refine", action="store_true", help="apply the post-pass")
     part.add_argument("--output", help="write per-edge part ids here")
 
+    sp = sub.add_parser(
+        "stream-partition",
+        help="partition an on-disk edge stream out of core (O(chunk) memory)",
+    )
+    sp.add_argument("input", help="edge-list text file or (m, 2) .npy edge array")
+    sp.add_argument(
+        "--format",
+        choices=("auto",) + registries.STREAMS.names(),
+        default="auto",
+        help="stream reader (auto: .npy extension selects npy, else edgelist)",
+    )
+    sp.add_argument(
+        "--method",
+        type=_registry_arg(registries.PARTITIONERS),
+        default="ebv-stream",
+        help=(
+            "streaming-capable partitioner spec (e.g. "
+            "'ebv-stream?chunk_size=4096', 'ebv-sharded?sort_edges=false'); "
+            f"available: {', '.join(registries.PARTITIONERS.names())}"
+        ),
+    )
+    sp.add_argument("--parts", type=int, default=8)
+    sp.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="reader chunk in edges (results never depend on it; the driver "
+        "re-buffers into the partitioner's window)",
+    )
+    sp.add_argument(
+        "--spill-dir",
+        default=None,
+        help="directory for the per-partition shards (default: <input>.spill)",
+    )
+    sp.add_argument(
+        "--overwrite", action="store_true", help="replace an existing spill dir"
+    )
+    sp.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable manifest + timing JSON",
+    )
+
     run = sub.add_parser("run", help="run an application on a partitioned graph")
     run.add_argument("input", help="edge-list file")
     run.add_argument(
@@ -222,6 +273,66 @@ def _cmd_partition(args) -> int:
     if args.output:
         save_partition(result.partition, args.output)
         print(f"partition written to {args.output}")
+    return 0
+
+
+def _cmd_stream_partition(args) -> int:
+    from time import perf_counter
+
+    from .stream import StreamError, stream_partition
+
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "npy" if args.input.endswith(".npy") else "edgelist"
+    spill_dir = args.spill_dir or args.input + ".spill"
+    t0 = perf_counter()
+    try:
+        stream = registries.STREAMS.create(
+            fmt, path=args.input, chunk_size=args.chunk_size
+        )
+        partitioner = registries.PARTITIONERS.create(args.method)
+        spilled = stream_partition(
+            stream, partitioner, args.parts, spill_dir, overwrite=args.overwrite
+        )
+    except (SpecError, RegistryError, StreamError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    seconds = perf_counter() - t0
+    try:
+        import resource
+
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KB elsewhere
+            peak_rss_kb //= 1024
+    except ImportError:  # pragma: no cover - non-POSIX
+        peak_rss_kb = None
+    manifest = spilled.manifest
+    if args.json:
+        payload = dict(manifest)
+        payload["seconds"] = seconds
+        payload["peak_rss_kb"] = peak_rss_kb
+        payload["spill_dir"] = spilled.directory
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    counts = spilled.edge_counts
+    mean = counts.mean() if counts.size else 0.0
+    imbalance = float(counts.max() / mean) if mean else 1.0
+    throughput = manifest["num_edges"] / seconds if seconds > 0 else float("inf")
+    print(
+        render_table(
+            ["Method", "Parts", "E", "V", "EdgeImb", "RF", "Spill MB",
+             "Edges/s", "PeakRSS MB"],
+            [(
+                manifest["method"], manifest["num_parts"],
+                manifest["num_edges"], manifest["num_vertices"],
+                f"{imbalance:.3f}", f"{manifest['replication_factor']:.3f}",
+                f"{manifest['bytes_spilled'] / 1e6:.1f}",
+                f"{throughput:.0f}",
+                "?" if peak_rss_kb is None else f"{peak_rss_kb / 1024:.1f}",
+            )],
+        )
+    )
+    print(f"shards + manifest written to {spilled.directory}")
     return 0
 
 
@@ -324,6 +435,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "stats": _cmd_stats,
         "partition": _cmd_partition,
+        "stream-partition": _cmd_stream_partition,
         "run": _cmd_run,
         "pipeline": _cmd_pipeline,
         "experiment": _cmd_experiment,

@@ -11,7 +11,14 @@ from .generators import (
     rmat,
     road_network,
 )
-from .io import read_edge_list, read_metis, write_edge_list, write_metis
+from .io import (
+    iter_edge_chunks,
+    read_edge_list,
+    read_edge_list_header,
+    read_metis,
+    write_edge_list,
+    write_metis,
+)
 from .stats import (
     GraphStats,
     degree_histogram,
@@ -32,7 +39,9 @@ __all__ = [
     "powerlaw_graph",
     "rmat",
     "road_network",
+    "iter_edge_chunks",
     "read_edge_list",
+    "read_edge_list_header",
     "read_metis",
     "write_edge_list",
     "write_metis",

@@ -19,18 +19,280 @@ handle larger graphs."  This module provides both extensions:
   ``vcount``), merging snapshots every ``sync_interval`` edges.  Larger
   intervals mean staler state and a higher replication factor; the
   ablation bench quantifies that staleness cost.
+
+Both algorithms are backed by *assigner* cores
+(:class:`StreamingEBVAssigner`, :class:`ShardedEBVAssigner`) that
+consume bare ``(src, dst)`` edge chunks and never touch a
+:class:`~repro.graph.Graph`.  The classic :meth:`Partitioner.partition`
+entry points feed the cores from the in-memory edge arrays; the
+out-of-core driver in :mod:`repro.stream` feeds them from disk — both
+paths produce byte-identical assignments (enforced by
+``tests/stream/test_stream_equivalence.py``).
+
+The assigner contract (what :func:`repro.stream.stream_partition`
+relies on):
+
+* ``window`` — the number of edges per :meth:`assign` call the core
+  expects; the driver re-buffers arbitrary reader chunks into windows
+  of exactly this size (the final window may be short), so assignment
+  results are independent of the on-disk chunking.
+* ``assign(src, dst)`` — assign one window, returning the part id of
+  every edge *in input order*.
+* ``replication_factor()`` — current replication factor of the
+  assignment so far, computable from the core's own state without any
+  graph.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..graph import Graph
 from .base import VERTEX_CUT, Partitioner, PartitionResult
 
-__all__ = ["StreamingEBVPartitioner", "ShardedEBVPartitioner"]
+__all__ = [
+    "StreamingEBVPartitioner",
+    "ShardedEBVPartitioner",
+    "StreamingEBVAssigner",
+    "ShardedEBVAssigner",
+]
+
+
+class StreamingEBVAssigner:
+    """Chunk-consuming core of :class:`StreamingEBVPartitioner`.
+
+    Holds the full streaming state — online degree estimates, per-vertex
+    replica sets, per-part balance scores — in O(vertices seen) memory,
+    growing lazily as new vertex ids appear, so it can be driven either
+    from in-memory arrays or from an on-disk stream of unknown extent.
+    """
+
+    def __init__(self, num_parts: int, chunk_size: int, alpha: float, beta: float):
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        self.num_parts = int(num_parts)
+        self.window = int(chunk_size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._seen_degree = np.zeros(0, dtype=np.int64)
+        self._parts_of: List[List[int]] = []
+        self._ecount = np.zeros(self.num_parts, dtype=np.float64)
+        self._vcount = np.zeros(self.num_parts, dtype=np.float64)
+        self._eva = np.empty(self.num_parts, dtype=np.float64)
+        self.edges_assigned = 0
+        #: (vertex, part) incidences — Σ_v |parts_of[v]|
+        self.vertices_covered = 0
+        #: distinct vertices holding at least one replica
+        self.vertices_seen = 0
+
+    def _grow(self, needed: int) -> None:
+        if needed > len(self._parts_of):
+            self._parts_of.extend([] for _ in range(needed - len(self._parts_of)))
+        if needed > self._seen_degree.shape[0]:
+            # capacity doubles so repeated growth stays amortized O(1)
+            grown = np.zeros(
+                max(needed, 2 * self._seen_degree.shape[0]), dtype=np.int64
+            )
+            grown[: self._seen_degree.shape[0]] = self._seen_degree
+            self._seen_degree = grown
+
+    def assign(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Assign one window of edges; returns part ids in input order.
+
+        Each call is one sorting window: degree estimates are updated
+        with the whole window first, then edges are assigned ascending
+        by estimated end-vertex degree sum.
+        """
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        out = np.empty(src.shape[0], dtype=np.int64)
+        if src.shape[0] == 0:
+            return out
+        self._grow(int(max(src.max(), dst.max())) + 1)
+        seen_degree = self._seen_degree
+        np.add.at(seen_degree, src, 1)
+        np.add.at(seen_degree, dst, 1)
+        key = seen_degree[src] + seen_degree[dst]
+        order = np.argsort(key, kind="stable")
+
+        num_parts = self.num_parts
+        parts_of = self._parts_of
+        ecount = self._ecount
+        vcount = self._vcount
+        eva = self._eva
+        for pos in order.tolist():
+            u, v = int(src[pos]), int(dst[pos])
+            pu, pv = parts_of[u], parts_of[v]
+            # Online normalization: the offline evaluation function
+            # divides the per-part counts by |E|/p and |V|/p; here the
+            # running totals stand in for the unknown |E| and |V| and
+            # the balance terms are recomputed from the *current*
+            # counts every step, so early units never persist as the
+            # stream grows.  The divisors floor at one edge/vertex per
+            # part (1/p): on the very first chunk, while p > |E seen|
+            # (and before any vertex is covered), the raw running
+            # average is zero and the unguarded quotient would divide
+            # by zero.
+            edge_unit = self.alpha / max(
+                self.edges_assigned / num_parts, 1.0 / num_parts
+            )
+            vertex_unit = self.beta / max(
+                self.vertices_covered / num_parts, 1.0 / num_parts
+            )
+            np.copyto(eva, ecount)
+            eva *= edge_unit
+            eva += vcount * vertex_unit
+            eva += 2.0
+            if pu:
+                eva[pu] -= 1.0
+            if pv:
+                eva[pv] -= 1.0
+            i = int(np.argmin(eva))
+            out[pos] = i
+            self.edges_assigned += 1
+            ecount[i] += 1.0
+            if i not in pu:
+                if not pu:
+                    self.vertices_seen += 1
+                pu.append(i)
+                self.vertices_covered += 1
+                vcount[i] += 1.0
+            if u != v and i not in pv:
+                if not pv:
+                    self.vertices_seen += 1
+                pv.append(i)
+                self.vertices_covered += 1
+                vcount[i] += 1.0
+        return out
+
+    def replication_factor(self, num_vertices: Optional[int] = None) -> float:
+        """Replicas per vertex so far (1.0 before any edge).
+
+        Mid-stream the true |V| is unknown, so the default denominator
+        is the distinct vertices seen; pass ``num_vertices`` (e.g. from
+        the degree sketch, once the stream is exhausted) to match the
+        ``Σ|V_i| / |V|`` convention of
+        :func:`repro.partition.replication_factor`, which also counts
+        isolated vertices.
+        """
+        denom = self.vertices_seen if num_vertices is None else int(num_vertices)
+        if denom <= 0:
+            return 1.0
+        return self.vertices_covered / denom
+
+
+class ShardedEBVAssigner:
+    """Chunk-consuming core of :class:`ShardedEBVPartitioner`.
+
+    One :meth:`assign` call processes one *epoch span* of
+    ``num_shards * sync_interval`` consecutive edges: the span is dealt
+    round-robin to the shard workers (edge ``j`` of the span goes to
+    worker ``j % num_shards``), every worker assigns its sub-queue
+    against a private snapshot of the committed global state, and the
+    epoch ends with the synchronization barrier that merges all deltas.
+    Feeding the spans sequentially reproduces the offline simulation
+    byte-for-byte.
+
+    The evaluation function normalizes by the exact ``|E|``/``|V|`` of
+    the whole stream, so both must be known up front — out of core that
+    is what the :class:`repro.stream.DegreeSketch` pre-pass provides.
+    """
+
+    def __init__(
+        self,
+        num_parts: int,
+        num_shards: int,
+        sync_interval: int,
+        alpha: float,
+        beta: float,
+        num_edges: int,
+        num_vertices: int,
+    ):
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        self.num_parts = int(num_parts)
+        self.num_shards = int(num_shards)
+        self.window = self.num_shards * int(sync_interval)
+        self.num_vertices = int(num_vertices)
+        self._committed_masks = [0] * self.num_vertices
+        self._committed_ecount = np.zeros(self.num_parts, dtype=np.int64)
+        self._committed_vcount = np.zeros(self.num_parts, dtype=np.int64)
+        self._edge_unit = float(alpha) / max(num_edges / self.num_parts, 1e-12)
+        self._vertex_unit = float(beta) / max(num_vertices / self.num_parts, 1e-12)
+        self._eva = np.empty(self.num_parts, dtype=np.float64)
+
+    def assign(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Run one epoch over a span of ``window`` edges (last may be short)."""
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        span = src.shape[0]
+        out = np.empty(span, dtype=np.int64)
+        if span == 0:
+            return out
+        num_parts = self.num_parts
+        committed_masks = self._committed_masks
+        eva = self._eva
+        epoch_masks: List[Dict[int, int]] = []
+        epoch_ecount = np.zeros(num_parts, dtype=np.int64)
+        for s in range(self.num_shards):
+            local_masks: Dict[int, int] = {}
+            local_ecount = self._committed_ecount.astype(np.float64).copy()
+            local_vcount = self._committed_vcount.astype(np.float64).copy()
+            for pos in range(s, span, self.num_shards):
+                u, v = int(src[pos]), int(dst[pos])
+                mask_u = local_masks.get(u, committed_masks[u])
+                mask_v = local_masks.get(v, committed_masks[v])
+                np.copyto(eva, local_ecount)
+                eva *= self._edge_unit
+                eva += local_vcount * self._vertex_unit
+                eva += 2.0
+                for i in range(num_parts):
+                    bit = 1 << i
+                    if mask_u & bit:
+                        eva[i] -= 1.0
+                    if mask_v & bit:
+                        eva[i] -= 1.0
+                i = int(np.argmin(eva))
+                out[pos] = i
+                local_ecount[i] += 1
+                bit = 1 << i
+                if not mask_u & bit:
+                    local_masks[u] = mask_u | bit
+                    local_vcount[i] += 1
+                if u != v:
+                    mask_v = local_masks.get(v, committed_masks[v])
+                    if not mask_v & bit:
+                        local_masks[v] = mask_v | bit
+                        local_vcount[i] += 1
+            epoch_masks.append(local_masks)
+            epoch_ecount += (local_ecount - self._committed_ecount).astype(np.int64)
+        # Synchronization barrier: merge every worker's deltas.
+        for local_masks in epoch_masks:
+            for vertex, mask in local_masks.items():
+                committed_masks[vertex] |= mask
+        self._committed_ecount += epoch_ecount
+        # vcount must be recounted from the merged masks: two workers
+        # may both have replicated the same vertex into a part.
+        vcount = np.zeros(num_parts, dtype=np.int64)
+        for mask in committed_masks:
+            while mask:
+                vcount[(mask & -mask).bit_length() - 1] += 1
+                mask &= mask - 1
+        self._committed_vcount = vcount
+        return out
+
+    def replication_factor(self, num_vertices: Optional[int] = None) -> float:
+        """Committed replicas per vertex (see :class:`StreamingEBVAssigner`).
+
+        The sharded core knows the exact |V| up front, so the metrics
+        convention (``Σ|V_i| / |V|``) is the default denominator.
+        """
+        denom = self.num_vertices if num_vertices is None else int(num_vertices)
+        if denom <= 0:
+            return 1.0
+        return int(self._committed_vcount.sum()) / denom
 
 
 class StreamingEBVPartitioner(Partitioner):
@@ -47,6 +309,19 @@ class StreamingEBVPartitioner(Partitioner):
     """
 
     name = "EBV-stream"
+    #: the out-of-core driver may feed this partitioner chunk-by-chunk
+    supports_stream = True
+    #: no |E|/|V| pre-pass needed — normalization uses running counts
+    requires_totals = False
+
+    @classmethod
+    def stream_capable(cls, **kwargs) -> bool:
+        """Whether a construction with ``kwargs`` could consume a stream.
+
+        Used for eager :class:`~repro.pipeline.PipelineSpec` validation;
+        every configuration of this partitioner streams.
+        """
+        return True
 
     def __init__(self, chunk_size: int = 4096, alpha: float = 1.0, beta: float = 1.0):
         if chunk_size < 1:
@@ -57,12 +332,20 @@ class StreamingEBVPartitioner(Partitioner):
         self.alpha = float(alpha)
         self.beta = float(beta)
 
+    def streamer(
+        self,
+        num_parts: int,
+        num_edges: Optional[int] = None,
+        num_vertices: Optional[int] = None,
+    ) -> StreamingEBVAssigner:
+        """Fresh chunk-consuming assigner (the totals hints are unused)."""
+        return StreamingEBVAssigner(num_parts, self.chunk_size, self.alpha, self.beta)
+
     def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
         """Stream the edge list in input order, chunk by chunk."""
         if num_parts < 1:
             raise ValueError("num_parts must be >= 1")
         m = graph.num_edges
-        n = graph.num_vertices
         edge_parts = np.full(m, -1, dtype=np.int64)
         if num_parts == 1:
             edge_parts[:] = 0
@@ -70,48 +353,11 @@ class StreamingEBVPartitioner(Partitioner):
                 graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT,
                 method=self.name,
             )
-
-        seen_degree = np.zeros(n, dtype=np.int64)  # degrees observed so far
-        balance = np.zeros(num_parts, dtype=np.float64)
-        parts_of: List[List[int]] = [[] for _ in range(n)]
-        eva = np.empty(num_parts, dtype=np.float64)
-        edges_assigned = 0
-        vertices_covered = 0
+        assigner = self.streamer(num_parts)
         src, dst = graph.src, graph.dst
-
         for start in range(0, m, self.chunk_size):
-            chunk = np.arange(start, min(start + self.chunk_size, m))
-            # Update degree estimates with this chunk, then sort the
-            # chunk ascending by estimated end-vertex degree sum.
-            np.add.at(seen_degree, src[chunk], 1)
-            np.add.at(seen_degree, dst[chunk], 1)
-            key = seen_degree[src[chunk]] + seen_degree[dst[chunk]]
-            chunk = chunk[np.argsort(key, kind="stable")]
-
-            for e in chunk.tolist():
-                u, v = int(src[e]), int(dst[e])
-                pu, pv = parts_of[u], parts_of[v]
-                np.copyto(eva, balance)
-                eva += 2.0
-                if pu:
-                    eva[pu] -= 1.0
-                if pv:
-                    eva[pv] -= 1.0
-                i = int(np.argmin(eva))
-                edge_parts[e] = i
-                edges_assigned += 1
-                # Online normalization: running totals instead of |E|, |V|.
-                edge_unit = self.alpha / max(edges_assigned / num_parts, 1.0)
-                vertex_unit = self.beta / max(vertices_covered / num_parts, 1.0)
-                balance[i] += edge_unit
-                if i not in pu:
-                    pu.append(i)
-                    vertices_covered += 1
-                    balance[i] += vertex_unit
-                if u != v and i not in pv:
-                    pv.append(i)
-                    vertices_covered += 1
-                    balance[i] += vertex_unit
+            stop = min(start + self.chunk_size, m)
+            edge_parts[start:stop] = assigner.assign(src[start:stop], dst[start:stop])
         return PartitionResult(
             graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT,
             method=self.name,
@@ -134,10 +380,20 @@ class ShardedEBVPartitioner(Partitioner):
     sort_edges:
         Apply the (global) sorting preprocessing before sharding; edges
         are then dealt round-robin so every shard sees the same degree
-        profile.
+        profile.  Sorting needs the whole edge list, so only the
+        ``sort_edges=False`` configuration can consume a stream.
     """
 
     name = "EBV-sharded"
+    supports_stream = True
+    #: the evaluation function divides by exact |E| and |V|, so the
+    #: out-of-core driver must run a degree-sketch pre-pass first
+    requires_totals = True
+
+    @classmethod
+    def stream_capable(cls, **kwargs) -> bool:
+        """Only the unsorted configuration can stream (see ``sort_edges``)."""
+        return kwargs.get("sort_edges", True) is False
 
     def __init__(
         self,
@@ -157,6 +413,29 @@ class ShardedEBVPartitioner(Partitioner):
         self.beta = float(beta)
         self.sort_edges = bool(sort_edges)
 
+    def streamer(
+        self,
+        num_parts: int,
+        num_edges: Optional[int] = None,
+        num_vertices: Optional[int] = None,
+    ) -> ShardedEBVAssigner:
+        """Chunk-consuming assigner; needs the stream's exact totals."""
+        if self.sort_edges:
+            raise ValueError(
+                "EBV-sharded with sort_edges=true needs the whole edge list "
+                "for the global degree sort and cannot consume a stream; "
+                "use sort_edges=false"
+            )
+        if num_edges is None or num_vertices is None:
+            raise ValueError(
+                "EBV-sharded normalizes by exact |E| and |V|; run a "
+                "degree-sketch pass and pass num_edges/num_vertices"
+            )
+        return ShardedEBVAssigner(
+            num_parts, self.num_shards, self.sync_interval,
+            self.alpha, self.beta, num_edges, num_vertices,
+        )
+
     def partition(self, graph: Graph, num_parts: int) -> PartitionResult:
         """Run the sharded simulation; one epoch = sync_interval edges/shard."""
         from .ebv import edge_processing_order
@@ -164,75 +443,20 @@ class ShardedEBVPartitioner(Partitioner):
         if num_parts < 1:
             raise ValueError("num_parts must be >= 1")
         m = graph.num_edges
-        n = graph.num_vertices
         edge_parts = np.full(m, -1, dtype=np.int64)
         order = edge_processing_order(
             graph, "ascending" if self.sort_edges else "input"
         )
-        # Deal edges round-robin to shards (preserving the sorted order
-        # within each shard's queue).
-        shards = [order[s :: self.num_shards] for s in range(self.num_shards)]
-        positions = [0] * self.num_shards
-
-        # Committed global state (what every worker saw at the last sync).
-        committed_masks = [0] * n  # bitmask of parts holding each vertex
-        committed_ecount = np.zeros(num_parts, dtype=np.int64)
-        committed_vcount = np.zeros(num_parts, dtype=np.int64)
-        edge_unit = self.alpha / max(m / num_parts, 1e-12)
-        vertex_unit = self.beta / max(n / num_parts, 1e-12)
+        assigner = ShardedEBVAssigner(
+            num_parts, self.num_shards, self.sync_interval,
+            self.alpha, self.beta, m, graph.num_vertices,
+        )
+        # Feed the processing order span by span; each span is exactly
+        # one epoch of the sharded simulation (see ShardedEBVAssigner).
         src, dst = graph.src, graph.dst
-        eva = np.empty(num_parts, dtype=np.float64)
-
-        while any(positions[s] < shards[s].shape[0] for s in range(self.num_shards)):
-            epoch_masks: List[dict] = []
-            epoch_ecount = np.zeros(num_parts, dtype=np.int64)
-            for s in range(self.num_shards):
-                local_masks: dict = {}
-                local_ecount = committed_ecount.astype(np.float64).copy()
-                local_vcount = committed_vcount.astype(np.float64).copy()
-                queue = shards[s]
-                stop = min(positions[s] + self.sync_interval, queue.shape[0])
-                for e in queue[positions[s] : stop].tolist():
-                    u, v = int(src[e]), int(dst[e])
-                    mask_u = local_masks.get(u, committed_masks[u])
-                    mask_v = local_masks.get(v, committed_masks[v])
-                    np.copyto(eva, local_ecount)
-                    eva *= edge_unit
-                    eva += local_vcount * vertex_unit
-                    eva += 2.0
-                    for i in range(num_parts):
-                        bit = 1 << i
-                        if mask_u & bit:
-                            eva[i] -= 1.0
-                        if mask_v & bit:
-                            eva[i] -= 1.0
-                    i = int(np.argmin(eva))
-                    edge_parts[e] = i
-                    local_ecount[i] += 1
-                    bit = 1 << i
-                    if not mask_u & bit:
-                        local_masks[u] = mask_u | bit
-                        local_vcount[i] += 1
-                    if u != v:
-                        mask_v = local_masks.get(v, committed_masks[v])
-                        if not mask_v & bit:
-                            local_masks[v] = mask_v | bit
-                            local_vcount[i] += 1
-                positions[s] = stop
-                epoch_masks.append(local_masks)
-                epoch_ecount += (local_ecount - committed_ecount).astype(np.int64)
-            # Synchronization barrier: merge every worker's deltas.
-            for local_masks in epoch_masks:
-                for vertex, mask in local_masks.items():
-                    committed_masks[vertex] |= mask
-            committed_ecount += epoch_ecount
-            # vcount must be recounted from the merged masks: two workers
-            # may both have replicated the same vertex into a part.
-            committed_vcount = np.zeros(num_parts, dtype=np.int64)
-            for mask in committed_masks:
-                while mask:
-                    committed_vcount[(mask & -mask).bit_length() - 1] += 1
-                    mask &= mask - 1
+        for start in range(0, m, assigner.window):
+            span = order[start : start + assigner.window]
+            edge_parts[span] = assigner.assign(src[span], dst[span])
         return PartitionResult(
             graph, num_parts, edge_parts=edge_parts, kind=VERTEX_CUT,
             method=self.name,

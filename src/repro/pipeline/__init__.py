@@ -9,7 +9,7 @@ future server):
   ``"name?key=val,..."`` spec grammar;
 * :mod:`repro.pipeline.registries` — the concrete component registries
   (:data:`PARTITIONERS`, :data:`APPS`, :data:`GENERATORS`,
-  :data:`BACKENDS`, :data:`EXPERIMENTS`);
+  :data:`STREAMS`, :data:`BACKENDS`, :data:`EXPERIMENTS`);
 * :mod:`repro.pipeline.spec` — :class:`PipelineSpec`, a whole run as one
   JSON document;
 * :mod:`repro.pipeline.builder` — the fluent :class:`Pipeline` builder,
@@ -17,7 +17,7 @@ future server):
 """
 
 from .builder import Pipeline, PipelineResult, run_spec
-from .registries import APPS, BACKENDS, EXPERIMENTS, GENERATORS, PARTITIONERS
+from .registries import APPS, BACKENDS, EXPERIMENTS, GENERATORS, PARTITIONERS, STREAMS
 from .registry import (
     DuplicateComponentError,
     Registry,
@@ -37,6 +37,7 @@ __all__ = [
     "BACKENDS",
     "EXPERIMENTS",
     "GENERATORS",
+    "STREAMS",
     "PARTITIONERS",
     "Registry",
     "RegistryView",

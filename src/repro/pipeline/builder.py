@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import tempfile
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, Optional, Union
@@ -45,7 +46,8 @@ from ..bsp import (
 )
 from ..graph import Graph
 from ..partition import PartitionMetrics, PartitionResult, partition_metrics, refine_vertex_cut
-from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS
+from ..stream import EdgeChunkStream, stream_partition
+from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS, STREAMS
 from .registry import RegistryError, format_spec, parse_spec
 from .spec import PipelineSpec, SpecError
 
@@ -110,6 +112,11 @@ class PipelineResult:
     #: the routed distributed graph (built only when an app ran); kept
     #: so callers can execute further programs without re-partitioning.
     distributed: Optional[DistributedGraph] = None
+    #: the spilled-partition manifest when the source was an out-of-core
+    #: stream (``None`` for in-memory sources); records |E|, |V|, the
+    #: per-part edge counts and the replication factor as observed by
+    #: the streaming assigner, plus the spill volume.
+    stream: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe summary of the whole run."""
@@ -128,7 +135,7 @@ class PipelineResult:
                 "delta_c": self.run.delta_c,
                 "execution_time": self.run.execution_time,
             }
-        return {
+        payload: Dict[str, Any] = {
             "spec": None if self.spec is None else self.spec.to_dict(),
             "graph": {
                 "name": self.graph.name,
@@ -147,6 +154,9 @@ class PipelineResult:
             "run": run_summary,
             "timings": dict(self.timings),
         }
+        if self.stream is not None:
+            payload["stream"] = dict(self.stream)
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -162,7 +172,7 @@ class Pipeline:
     """
 
     def __init__(self) -> None:
-        self._source: Union[str, Graph, None] = None
+        self._source: Union[str, Graph, EdgeChunkStream, None] = None
         self._source_overrides: Dict[str, Any] = {}
         self._partition_spec: str = "ebv"
         self._partition_overrides: Dict[str, Any] = {}
@@ -178,16 +188,36 @@ class Pipeline:
     # Stage setters
     # ------------------------------------------------------------------
 
-    def source(self, source: Union[str, Graph], **kwargs: Any) -> "Pipeline":
-        """Set the graph source: a generator/file spec or a live Graph."""
-        if isinstance(source, Graph):
+    def source(
+        self, source: Union[str, Graph, EdgeChunkStream], **kwargs: Any
+    ) -> "Pipeline":
+        """Set the graph source: a generator/file/stream spec, a live
+        Graph, or a live :class:`~repro.stream.EdgeChunkStream`."""
+        if isinstance(source, (Graph, EdgeChunkStream)):
             if kwargs:
-                raise SpecError("kwargs are not accepted with an in-memory Graph source")
+                raise SpecError(
+                    "kwargs are not accepted with an in-memory source object"
+                )
             self._source = source
         else:
             scalars, self._source_overrides = _split_kwargs(kwargs)
             self._source = _merge_spec(source, scalars)
         return self
+
+    @classmethod
+    def from_stream(
+        cls, stream: Union[str, EdgeChunkStream], **kwargs: Any
+    ) -> "Pipeline":
+        """Start a pipeline on an out-of-core edge stream.
+
+        ``stream`` is either a live :class:`~repro.stream.EdgeChunkStream`
+        or a :data:`~repro.pipeline.STREAMS` spec string
+        (``"edgelist?path=huge.txt,chunk_size=65536"``).  The partition
+        stage then runs through :func:`repro.stream.stream_partition`
+        without materializing the graph; downstream stages (refine, app)
+        operate on the partition assembled from the spill shards.
+        """
+        return cls().source(stream, **kwargs)
 
     def partition(self, method: str = "ebv", parts: Optional[int] = None, **kwargs: Any) -> "Pipeline":
         """Choose the partition algorithm and the number of subgraphs."""
@@ -264,10 +294,11 @@ class Pipeline:
         """
         if self._source is None:
             raise SpecError("pipeline has no source; call .source(...) first")
-        if isinstance(self._source, Graph):
+        if isinstance(self._source, (Graph, EdgeChunkStream)):
             raise SpecError(
-                "an in-memory Graph source cannot be serialized; "
-                "use a generator spec or 'file?path=...'"
+                "an in-memory Graph/EdgeChunkStream source cannot be "
+                "serialized; use a generator spec, 'file?path=...' or a "
+                "stream spec like 'edgelist?path=...'"
             )
         objects = {
             **self._source_overrides,
@@ -295,10 +326,23 @@ class Pipeline:
     # Execution
     # ------------------------------------------------------------------
 
+    def _stream_source(self) -> Optional[Union[str, EdgeChunkStream]]:
+        """The stream behind ``source``, or ``None`` for in-memory sources."""
+        if isinstance(self._source, EdgeChunkStream):
+            return self._source
+        if isinstance(self._source, str):
+            try:
+                if parse_spec(self._source)[0] in STREAMS:
+                    return self._source
+            except RegistryError:
+                pass  # malformed specs fail in the source stage proper
+        return None
+
     def execute(self) -> PipelineResult:
         """Run every configured stage and bundle the results."""
         timings: Dict[str, float] = {}
-        if isinstance(self._source, Graph) or any(
+        substage_walls: Dict[str, float] = {}
+        if isinstance(self._source, (Graph, EdgeChunkStream)) or any(
             (self._source_overrides, self._partition_overrides, self._app_overrides)
         ):
             spec = None  # not serializable, still runnable
@@ -307,9 +351,19 @@ class Pipeline:
             # fails here, before any generation or partitioning work.
             spec = self.spec()
 
+        stream_source = self._stream_source()
+        stream_info: Optional[Dict[str, Any]] = None
         t0 = perf_counter()
         if isinstance(self._source, Graph):
             graph = self._source
+        elif stream_source is not None:
+            if isinstance(stream_source, EdgeChunkStream):
+                stream = stream_source
+            else:
+                stream = _stage(
+                    "source",
+                    lambda: STREAMS.create(stream_source, **self._source_overrides),
+                )
         else:
             graph = _stage(
                 "source",
@@ -324,7 +378,25 @@ class Pipeline:
                 self._partition_spec, **self._partition_overrides
             ),
         )
-        result = partitioner.partition(graph, self._parts)
+        if stream_source is not None:
+            # Out-of-core path: spill per-part shards to a scratch dir,
+            # then assemble the in-memory result for the later stages.
+            with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+                t1 = perf_counter()
+                spilled = _stage(
+                    "partition",
+                    lambda: stream_partition(
+                        stream, partitioner, self._parts, spill_dir
+                    ),
+                )
+                substage_walls["partition.spill"] = perf_counter() - t1
+                t1 = perf_counter()
+                result = _stage("partition", spilled.assemble)
+                substage_walls["partition.assemble"] = perf_counter() - t1
+                stream_info = dict(spilled.manifest)
+            graph = result.graph
+        else:
+            result = partitioner.partition(graph, self._parts)
         timings["partition"] = perf_counter() - t0
 
         if self._refine:
@@ -353,10 +425,11 @@ class Pipeline:
             timings["run"] = perf_counter() - t0
 
         timings["total"] = sum(timings.values())
+        # Sub-stage walls; dotted keys so they read as components of
+        # their parent stage, not extra stages (they are intentionally
+        # excluded from "total").
+        timings.update(substage_walls)
         if run is not None:
-            # Sub-stage walls measured inside the engine; dotted keys so
-            # they read as components of "run", not extra stages (they
-            # are intentionally excluded from "total").
             for stage, seconds in run.real_stage_seconds().items():
                 timings[f"run.{stage}"] = seconds
         return PipelineResult(
@@ -367,6 +440,7 @@ class Pipeline:
             timings=timings,
             spec=spec,
             distributed=dgraph,
+            stream=stream_info,
         )
 
 

@@ -9,6 +9,12 @@
 * :data:`GENERATORS` — graph sources: the synthetic generators (uniform
   ``vertices=`` sizing via :func:`repro.graph.generate_graph`) plus a
   ``file`` source that reads an edge list from disk.
+* :data:`STREAMS` — out-of-core graph sources: chunked
+  :class:`~repro.stream.EdgeChunkStream` readers (``edgelist`` text,
+  binary ``npy``) that feed :func:`repro.stream.stream_partition`
+  without ever materializing a :class:`~repro.graph.Graph`; a
+  ``source`` spec naming one of these makes the pipeline run the
+  out-of-core partition path.
 * :data:`BACKENDS` — the :mod:`repro.runtime` execution backends for
   the BSP computation stage (``serial``, ``thread``, ``process``);
   factories take constructor kwargs only.
@@ -51,9 +57,17 @@ from ..partition import (
     StreamingEBVPartitioner,
 )
 from ..runtime import BACKEND_TYPES
+from ..stream import NpyEdgeStream, TextEdgeListStream
 from .registry import Registry
 
-__all__ = ["PARTITIONERS", "APPS", "GENERATORS", "BACKENDS", "EXPERIMENTS"]
+__all__ = [
+    "PARTITIONERS",
+    "APPS",
+    "GENERATORS",
+    "STREAMS",
+    "BACKENDS",
+    "EXPERIMENTS",
+]
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +134,16 @@ for _kind in GENERATOR_KINDS:
 def _file_source(path: str, **kwargs):
     """Read an edge list from disk (``"file?path=graph.txt"``)."""
     return read_edge_list(path, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Out-of-core stream sources
+# ----------------------------------------------------------------------
+
+STREAMS = Registry("stream")
+
+STREAMS.register("edgelist", TextEdgeListStream, aliases=("text",))
+STREAMS.register("npy", NpyEdgeStream)
 
 
 # ----------------------------------------------------------------------

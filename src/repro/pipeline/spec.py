@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..bsp import CostModel
-from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS
+from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS, STREAMS
 from .registry import RegistryError, format_spec, parse_spec
 
 __all__ = ["PipelineSpec", "SpecError"]
@@ -48,6 +48,50 @@ def _canonical_component(value: Any, registry, label: str) -> str:
     return format_spec(registry.canonical(name), kwargs)
 
 
+def _canonical_source(value: Any) -> tuple:
+    """Validate a source spec against GENERATORS, then STREAMS.
+
+    Returns ``(canonical_spec, is_stream)``.  The two registries share
+    no names, so the first registry that answers wins; an unknown name
+    reports the names of both families.
+    """
+    if not isinstance(value, str):
+        raise SpecError(f"'source' must be a spec string, got {type(value).__name__}")
+    try:
+        name, kwargs = parse_spec(value)
+    except RegistryError as exc:
+        raise SpecError(f"invalid 'source' spec: {exc}") from exc
+    for registry, is_stream in ((GENERATORS, False), (STREAMS, True)):
+        if name in registry:
+            return format_spec(registry.canonical(name), kwargs), is_stream
+    raise SpecError(
+        f"invalid 'source' spec: unknown source {name!r}; available "
+        f"generators: {', '.join(GENERATORS.names())}; available streams: "
+        f"{', '.join(STREAMS.names())}"
+    )
+
+
+def _check_stream_partitioner(partition_spec: str) -> None:
+    """Eagerly reject stream sources with non-streaming partitioners."""
+    name, kwargs = parse_spec(partition_spec)
+    factory = PARTITIONERS.get(name)
+    checker = getattr(factory, "stream_capable", None)
+    capable = (
+        checker(**kwargs) if checker is not None
+        else bool(getattr(factory, "supports_stream", False))
+    )
+    if not capable:
+        streaming = [
+            n for n, f in PARTITIONERS.items()
+            if getattr(f, "supports_stream", False)
+        ]
+        raise SpecError(
+            f"partitioner spec {partition_spec!r} cannot consume a stream "
+            f"source; streaming-capable partitioners: {', '.join(streaming)} "
+            "(ebv-sharded only with sort_edges=false)"
+        )
+
+
 @dataclass
 class PipelineSpec:
     """One pipeline run as data: ``source -> partition [-> refine] [-> app]``.
@@ -55,8 +99,14 @@ class PipelineSpec:
     Attributes
     ----------
     source:
-        Generator spec (``"powerlaw?vertices=20000,eta=2.2"``) or file
-        source (``"file?path=graph.txt"``).
+        Generator spec (``"powerlaw?vertices=20000,eta=2.2"``), file
+        source (``"file?path=graph.txt"``), or an out-of-core stream
+        source (``"edgelist?path=huge.txt,chunk_size=65536"``,
+        ``"npy?path=huge.npy"``; see :data:`repro.pipeline.STREAMS`).
+        A stream source runs the partition stage out of core through
+        :func:`repro.stream.stream_partition` and therefore requires a
+        streaming-capable partitioner (``ebv-stream``, or
+        ``ebv-sharded?sort_edges=false``).
     partition:
         Partitioner spec (``"ebv?alpha=2,sort_order=input"``).
     parts:
@@ -90,8 +140,10 @@ class PipelineSpec:
     cost_model: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
-        self.source = _canonical_component(self.source, GENERATORS, "source")
+        self.source, self._source_is_stream = _canonical_source(self.source)
         self.partition = _canonical_component(self.partition, PARTITIONERS, "partition")
+        if self._source_is_stream:
+            _check_stream_partitioner(self.partition)
         if isinstance(self.refine, dict):
             self.refine_options = dict(self.refine)
             self.refine = True
@@ -117,6 +169,11 @@ class PipelineSpec:
                     f"unknown cost_model fields {unknown}; "
                     f"expected a subset of {list(_COST_MODEL_FIELDS)}"
                 )
+
+    @property
+    def source_is_stream(self) -> bool:
+        """True when ``source`` names an out-of-core stream reader."""
+        return self._source_is_stream
 
     # ------------------------------------------------------------------
     # Round-trip

@@ -1,0 +1,372 @@
+"""Out-of-core partition driver: stream → assigner → per-part spill shards.
+
+:func:`stream_partition` is the path from an on-disk edge stream to a
+finished partition without ever constructing a
+:class:`~repro.graph.Graph`:
+
+1. If the partitioner normalizes by exact totals
+   (``requires_totals``, e.g. ``EBV-sharded``), run the
+   :class:`~repro.stream.DegreeSketch` pre-pass to learn |E| and |V|;
+   otherwise the sketch accumulates alongside the single assignment
+   pass.
+2. Re-buffer the reader's chunks into windows of exactly the
+   assigner's preferred ``window`` size, so the assignment is
+   byte-identical for every on-disk chunking of the same edge order.
+3. Assign each window and *spill* it: every edge is appended to its
+   partition's shard file as an ``(edge_id, src, dst)`` int64 row
+   (plus a parallel float64 weight file for weighted streams), and the
+   per-edge part id is appended to ``edge_parts.bin`` in input order.
+
+Peak memory is O(window + partitioner state): one window of edges, the
+assigner's per-vertex state, and constant-size spill buffers — never
+O(|E|).  The shards plus a ``manifest.json`` form a
+:class:`SpilledPartition`, which can later *assemble* the in-memory
+:class:`~repro.partition.PartitionResult` /
+:class:`~repro.bsp.DistributedGraph` (an explicitly O(|E|) step — do it
+on the machine that runs the BSP job, not the one that partitioned).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..graph import Graph
+from ..partition.base import VERTEX_CUT, PartitionResult
+from .sketch import DegreeSketch
+from .sources import EdgeChunk, EdgeChunkStream, StreamError
+
+__all__ = ["stream_partition", "SpilledPartition", "windows"]
+
+_MANIFEST = "manifest.json"
+_EDGE_PARTS = "edge_parts.bin"
+_MANIFEST_VERSION = 1
+
+
+def _shard_name(part: int) -> str:
+    return f"shard_{part:05d}.bin"
+
+
+def _shard_weights_name(part: int) -> str:
+    return f"shard_{part:05d}.w.bin"
+
+
+def windows(chunks: Iterable[EdgeChunk], window: int) -> Iterator[EdgeChunk]:
+    """Re-buffer arbitrary chunks into windows of exactly ``window`` edges.
+
+    Every yielded chunk holds exactly ``window`` edges except the final
+    one, regardless of the incoming granularity — the invariant that
+    makes out-of-core assignment independent of reader chunk size.
+    Weighted and unweighted chunks cannot be mixed.
+    """
+    if window < 1:
+        raise StreamError("window must be >= 1")
+    pend_src: List[np.ndarray] = []
+    pend_dst: List[np.ndarray] = []
+    pend_w: List[np.ndarray] = []
+    have = 0
+    weighted: Optional[bool] = None
+    for src, dst, w in chunks:
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise StreamError("src and dst must be 1-D arrays of equal length")
+        if src.shape[0] == 0:
+            continue
+        if weighted is None:
+            weighted = w is not None
+        elif weighted != (w is not None):
+            raise StreamError("stream mixes weighted and unweighted chunks")
+        if w is not None:
+            w = np.ascontiguousarray(w, dtype=np.float64)
+            if w.shape != src.shape:
+                raise StreamError("weights must parallel the edge arrays")
+            pend_w.append(w)
+        pend_src.append(src)
+        pend_dst.append(dst)
+        have += src.shape[0]
+        if have < window:
+            continue
+        cat_src = np.concatenate(pend_src)
+        cat_dst = np.concatenate(pend_dst)
+        cat_w = np.concatenate(pend_w) if weighted else None
+        off = 0
+        while have - off >= window:
+            yield (
+                cat_src[off : off + window],
+                cat_dst[off : off + window],
+                None if cat_w is None else cat_w[off : off + window],
+            )
+            off += window
+        pend_src = [cat_src[off:]] if have > off else []
+        pend_dst = [cat_dst[off:]] if have > off else []
+        pend_w = [cat_w[off:]] if weighted and have > off else []
+        have -= off
+    if have:
+        yield (
+            np.concatenate(pend_src),
+            np.concatenate(pend_dst),
+            np.concatenate(pend_w) if weighted else None,
+        )
+
+
+def _resolve_assigner(stream: EdgeChunkStream, partitioner, num_parts: int):
+    """Build the partitioner's assigner, running the sketch pass if needed.
+
+    Returns ``(assigner, sketch, sketch_is_complete)``.
+    """
+    if not getattr(partitioner, "supports_stream", False):
+        raise StreamError(
+            f"partitioner {getattr(partitioner, 'name', type(partitioner).__name__)!r} "
+            "does not support streaming; streaming-capable partitioners define "
+            "supports_stream/streamer()"
+        )
+    if getattr(partitioner, "requires_totals", False):
+        if not stream.reiterable:
+            raise StreamError(
+                f"partitioner {partitioner.name!r} needs a degree-sketch "
+                "pre-pass (exact |E|/|V|) but the stream supports only one "
+                "pass; use a re-iterable source"
+            )
+        sketch = DegreeSketch.from_stream(stream)
+        assigner = partitioner.streamer(
+            num_parts,
+            num_edges=sketch.num_edges,
+            num_vertices=max(sketch.num_vertices, stream.num_vertices_hint or 0),
+        )
+        return assigner, sketch, True
+    assigner = partitioner.streamer(num_parts)
+    return assigner, DegreeSketch(num_vertices_hint=stream.num_vertices_hint), False
+
+
+def stream_partition(
+    stream: EdgeChunkStream,
+    partitioner,
+    num_parts: int,
+    spill_dir: str,
+    overwrite: bool = False,
+) -> "SpilledPartition":
+    """Partition an edge stream out of core, spilling shards to ``spill_dir``.
+
+    ``partitioner`` must be streaming-capable (``supports_stream``; see
+    :mod:`repro.partition.streaming`).  Returns the
+    :class:`SpilledPartition` handle over the written shards.
+    """
+    if num_parts < 1:
+        raise StreamError("num_parts must be >= 1")
+    os.makedirs(spill_dir, exist_ok=True)
+    manifest_path = os.path.join(spill_dir, _MANIFEST)
+    if os.path.exists(manifest_path) and not overwrite:
+        raise StreamError(
+            f"{spill_dir} already holds a spilled partition; pass "
+            "overwrite=True (--overwrite from the CLI) to replace it"
+        )
+    # Clear every artifact a previous (or crashed partial) spill left
+    # behind: a part that receives no edges this run would otherwise
+    # leave its old shard file in place and corrupt the new assembly.
+    for name in os.listdir(spill_dir):
+        if name == _MANIFEST or name == _EDGE_PARTS or (
+            name.startswith("shard_") and name.endswith(".bin")
+        ):
+            os.remove(os.path.join(spill_dir, name))
+
+    assigner, sketch, sketch_done = _resolve_assigner(stream, partitioner, num_parts)
+    shard_files: Dict[int, IO[bytes]] = {}
+    weight_files: Dict[int, IO[bytes]] = {}
+    edge_counts = np.zeros(num_parts, dtype=np.int64)
+    weighted: Optional[bool] = None
+    next_edge_id = 0
+    try:
+        parts_file = open(os.path.join(spill_dir, _EDGE_PARTS), "wb")
+        try:
+            for src, dst, w in windows(stream.chunks(), assigner.window):
+                if not sketch_done:
+                    sketch.update(src, dst)
+                if weighted is None:
+                    weighted = w is not None
+                parts = assigner.assign(src, dst)
+                parts.tofile(parts_file)
+                eids = np.arange(
+                    next_edge_id, next_edge_id + src.shape[0], dtype=np.int64
+                )
+                next_edge_id += src.shape[0]
+                for i in np.unique(parts).tolist():
+                    sel = parts == i
+                    if i not in shard_files:
+                        shard_files[i] = open(
+                            os.path.join(spill_dir, _shard_name(i)), "wb"
+                        )
+                        if w is not None:
+                            weight_files[i] = open(
+                                os.path.join(spill_dir, _shard_weights_name(i)), "wb"
+                            )
+                    rows = np.stack([eids[sel], src[sel], dst[sel]], axis=1)
+                    rows.tofile(shard_files[i])
+                    if w is not None:
+                        np.ascontiguousarray(w[sel]).tofile(weight_files[i])
+                edge_counts += np.bincount(parts, minlength=num_parts)
+        finally:
+            parts_file.close()
+    finally:
+        for fh in shard_files.values():
+            fh.close()
+        for fh in weight_files.values():
+            fh.close()
+
+    num_vertices = max(sketch.num_vertices, stream.num_vertices_hint or 0, 1)
+    bytes_spilled = sum(
+        os.path.getsize(os.path.join(spill_dir, f))
+        for f in os.listdir(spill_dir)
+        if f != _MANIFEST
+    )
+    manifest = {
+        "format": "repro-stream-partition",
+        "version": _MANIFEST_VERSION,
+        "name": stream.name,
+        "method": getattr(partitioner, "name", type(partitioner).__name__),
+        "num_parts": int(num_parts),
+        "num_edges": int(sketch.num_edges),
+        "num_vertices": int(num_vertices),
+        "directed": (
+            True if stream.directed_hint is None else bool(stream.directed_hint)
+        ),
+        "weighted": bool(weighted),
+        "window": int(assigner.window),
+        "reader_chunk_size": stream.chunk_size,
+        "edge_counts": edge_counts.tolist(),
+        "replication_factor": float(
+            assigner.replication_factor(num_vertices if sketch.num_edges else None)
+        ),
+        "bytes_spilled": int(bytes_spilled),
+    }
+    with open(manifest_path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return SpilledPartition(spill_dir)
+
+
+class SpilledPartition:
+    """Handle over an on-disk spilled partition (shards + manifest).
+
+    The handle itself stays O(p): reading any edge data is explicit —
+    :meth:`part_edges` loads one shard, :meth:`assemble` rebuilds the
+    whole in-memory :class:`~repro.partition.PartitionResult` (O(|E|),
+    for handing off to the BSP engine).
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        manifest_path = os.path.join(self.directory, _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StreamError(
+                f"{self.directory} is not a spilled partition: {exc}"
+            ) from exc
+        if manifest.get("format") != "repro-stream-partition":
+            raise StreamError(f"{manifest_path} is not a spilled-partition manifest")
+        self.manifest = manifest
+        self.num_parts: int = manifest["num_parts"]
+        self.num_edges: int = manifest["num_edges"]
+        self.num_vertices: int = manifest["num_vertices"]
+        self.method: str = manifest["method"]
+        self.edge_counts = np.asarray(manifest["edge_counts"], dtype=np.int64)
+        self.replication_factor: float = manifest["replication_factor"]
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+
+    def edge_parts(self) -> np.ndarray:
+        """Per-edge part ids in input order (reads ``edge_parts.bin``)."""
+        path = os.path.join(self.directory, _EDGE_PARTS)
+        parts = np.fromfile(path, dtype=np.int64)
+        if parts.shape[0] != self.num_edges:
+            raise StreamError(
+                f"{path}: expected {self.num_edges} part ids, found {parts.shape[0]}"
+            )
+        return parts
+
+    def part_edges(self, part: int):
+        """One partition's spilled edges: ``(edge_ids, src, dst, weights)``."""
+        if not 0 <= part < self.num_parts:
+            raise StreamError(f"part {part} out of range [0, {self.num_parts})")
+        path = os.path.join(self.directory, _shard_name(part))
+        if not os.path.exists(path):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy(), None
+        rows = np.fromfile(path, dtype=np.int64)
+        if rows.shape[0] % 3:
+            raise StreamError(f"{path}: truncated shard file")
+        rows = rows.reshape(-1, 3)
+        weights = None
+        if self.manifest["weighted"]:
+            wpath = os.path.join(self.directory, _shard_weights_name(part))
+            weights = np.fromfile(wpath, dtype=np.float64)
+            if weights.shape[0] != rows.shape[0]:
+                raise StreamError(f"{wpath}: weight count does not match shard")
+        return (
+            np.ascontiguousarray(rows[:, 0]),
+            np.ascontiguousarray(rows[:, 1]),
+            np.ascontiguousarray(rows[:, 2]),
+            weights,
+        )
+
+    # ------------------------------------------------------------------
+    # Assembly (explicitly O(|E|))
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> PartitionResult:
+        """Rebuild the in-memory graph + partition from the shards.
+
+        The edges come back in their original stream order (shard rows
+        carry the input-order edge id), so the result is indistinguishable
+        from partitioning the fully-loaded graph.
+        """
+        m = self.num_edges
+        src = np.empty(m, dtype=np.int64)
+        dst = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64) if self.manifest["weighted"] else None
+        filled = 0
+        for part in range(self.num_parts):
+            eids, psrc, pdst, pw = self.part_edges(part)
+            src[eids] = psrc
+            dst[eids] = pdst
+            if weights is not None and pw is not None:
+                weights[eids] = pw
+            filled += eids.shape[0]
+        if filled != m:
+            raise StreamError(
+                f"shards cover {filled} edges but the manifest promises {m}"
+            )
+        graph = Graph(
+            self.num_vertices,
+            src,
+            dst,
+            weights=weights,
+            directed=self.manifest["directed"],
+            name=self.manifest["name"],
+        )
+        return PartitionResult(
+            graph,
+            self.num_parts,
+            edge_parts=self.edge_parts(),
+            kind=VERTEX_CUT,
+            method=self.method,
+        )
+
+    def to_distributed(self):
+        """Assemble and route: the :class:`~repro.bsp.DistributedGraph`."""
+        from ..bsp import build_distributed_graph
+
+        return build_distributed_graph(self.assemble())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpilledPartition(dir={self.directory!r}, method={self.method!r}, "
+            f"p={self.num_parts}, |E|={self.num_edges})"
+        )

@@ -1,0 +1,97 @@
+"""Streaming degree sketch: one bounded-state pass over an edge stream.
+
+The out-of-core driver needs three facts before (or while) assigning
+edges it will never hold all at once: how many edges the stream carries,
+how many vertices they touch, and each vertex's total degree — the
+quantity EBV's sorting preprocessing and the sharded evaluation
+function normalize by.  :class:`DegreeSketch` accumulates all three in
+one pass with O(max vertex id seen) state: an exact degree counter
+array that grows geometrically as new vertex ids appear, never
+proportional to the number of edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DegreeSketch"]
+
+
+class DegreeSketch:
+    """Exact per-vertex total-degree counts accumulated chunk by chunk.
+
+    ``update`` folds one ``(src, dst)`` chunk into the counts; every
+    endpoint occurrence adds one, so a self loop contributes 2 to its
+    vertex — the same convention as :meth:`repro.graph.Graph.degrees`.
+    """
+
+    def __init__(self, num_vertices_hint: Optional[int] = None):
+        capacity = int(num_vertices_hint) if num_vertices_hint else 0
+        self._counts = np.zeros(capacity, dtype=np.int64)
+        self._num_vertices = 0
+        self.num_edges = 0
+
+    def _grow(self, needed: int) -> None:
+        if needed > self._counts.shape[0]:
+            grown = np.zeros(max(needed, 2 * self._counts.shape[0]), dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        if needed > self._num_vertices:
+            self._num_vertices = needed
+
+    def update(self, src: np.ndarray, dst: np.ndarray) -> "DegreeSketch":
+        """Fold one chunk of edges into the sketch; returns ``self``."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        if src.shape[0] == 0:
+            return self
+        lo = int(min(src.min(), dst.min()))
+        if lo < 0:
+            raise ValueError(f"negative vertex id {lo} in edge chunk")
+        self._grow(int(max(src.max(), dst.max())) + 1)
+        np.add.at(self._counts, src, 1)
+        np.add.at(self._counts, dst, 1)
+        self.num_edges += int(src.shape[0])
+        return self
+
+    @classmethod
+    def from_stream(cls, stream) -> "DegreeSketch":
+        """Run the full sketch pass over an :class:`EdgeChunkStream`."""
+        sketch = cls(num_vertices_hint=getattr(stream, "num_vertices_hint", None))
+        for src, dst, _ in stream.chunks():
+            sketch.update(src, dst)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Max vertex id observed + 1 (0 before any edge)."""
+        return self._num_vertices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Total degree of vertices ``0 .. num_vertices - 1`` (a view)."""
+        return self._counts[: self._num_vertices]
+
+    def degree(self, vertex: int) -> int:
+        """Total degree of one vertex (0 for ids never seen)."""
+        if 0 <= vertex < self._num_vertices:
+            return int(self._counts[vertex])
+        return 0
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max()) if self._num_vertices else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DegreeSketch(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"max_degree={self.max_degree})"
+        )

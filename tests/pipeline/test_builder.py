@@ -230,3 +230,84 @@ class TestBackendStage:
             if k != "total" and "." not in k
         )
         assert result.timings["total"] == pytest.approx(total_of_stages)
+
+
+class TestStreamPipelines:
+    """Pipelines whose source is an out-of-core edge stream."""
+
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        from repro.graph import powerlaw_graph, write_edge_list
+
+        g = powerlaw_graph(250, eta=2.2, min_degree=2, seed=9, name="pl-bldr")
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        return path, g
+
+    def test_stream_spec_equals_inmemory_partition(self, stream_file):
+        path, g = stream_file
+        result = run_spec(
+            {
+                "source": f"edgelist?path={path},chunk_size=100",
+                "partition": "ebv-stream?chunk_size=64",
+                "parts": 4,
+            }
+        )
+        from repro.partition import StreamingEBVPartitioner
+
+        expected = StreamingEBVPartitioner(chunk_size=64).partition(g, 4)
+        assert np.array_equal(result.partition.edge_parts, expected.edge_parts)
+        assert result.stream is not None
+        assert result.stream["num_edges"] == g.num_edges
+        assert "partition.spill" in result.timings
+        assert "partition.assemble" in result.timings
+        assert "stream" in result.to_dict()
+
+    def test_stream_run_matches_generator_run(self, stream_file):
+        """Same edges, same app: stream-sourced == file-sourced values."""
+        path, _ = stream_file
+        streamed = run_spec(
+            {
+                "source": f"edgelist?path={path}",
+                "partition": "ebv-stream",
+                "parts": 2,
+                "app": "cc",
+            }
+        )
+        in_memory = (
+            Pipeline()
+            .source(f"file?path={path}")
+            .partition("ebv-stream", parts=2)
+            .run("cc")
+            .execute()
+        )
+        assert np.array_equal(streamed.run.values, in_memory.run.values)
+        assert streamed.run.num_supersteps == in_memory.run.num_supersteps
+
+    def test_from_stream_with_live_object(self, stream_file):
+        path, g = stream_file
+        from repro.stream import TextEdgeListStream
+
+        result = (
+            Pipeline.from_stream(TextEdgeListStream(path, chunk_size=77))
+            .partition("ebv-stream?chunk_size=64", parts=4)
+            .execute()
+        )
+        from repro.partition import StreamingEBVPartitioner
+
+        expected = StreamingEBVPartitioner(chunk_size=64).partition(g, 4)
+        assert np.array_equal(result.partition.edge_parts, expected.edge_parts)
+        assert result.spec is None  # live objects are not serializable
+
+    def test_live_stream_source_cannot_be_serialized(self, stream_file):
+        path, _ = stream_file
+        from repro.stream import TextEdgeListStream
+
+        pipe = Pipeline.from_stream(TextEdgeListStream(path))
+        with pytest.raises(SpecError, match="cannot be serialized"):
+            pipe.spec()
+
+    def test_nonstream_result_has_no_stream_key(self):
+        result = Pipeline().source("powerlaw?vertices=200").execute()
+        assert result.stream is None
+        assert "stream" not in result.to_dict()

@@ -143,3 +143,53 @@ class TestBackendField:
             json.dumps({"source": "powerlaw?vertices=200", "app": "cc"})
         )
         assert spec.backend == "serial"
+
+
+class TestStreamSources:
+    """Out-of-core stream sources in the 'source' slot."""
+
+    def test_stream_source_accepted_and_canonicalized(self):
+        spec = PipelineSpec(
+            source="TEXT?path=g.txt,chunk_size=100",
+            partition="ebv-stream",
+        )
+        assert spec.source == "edgelist?chunk_size=100,path=g.txt"
+        assert spec.source_is_stream
+
+    def test_generator_source_is_not_a_stream(self):
+        assert not PipelineSpec(source="powerlaw?vertices=200").source_is_stream
+        assert not PipelineSpec(source="file?path=g.txt").source_is_stream
+
+    def test_npy_stream_source(self):
+        spec = PipelineSpec(source="npy?path=g.npy", partition="ebv-stream")
+        assert spec.source_is_stream
+
+    def test_unknown_source_lists_both_families(self):
+        with pytest.raises(SpecError, match="available streams") as excinfo:
+            PipelineSpec(source="bogus?path=x")
+        assert "edgelist" in str(excinfo.value)
+        assert "powerlaw" in str(excinfo.value)
+
+    def test_stream_source_requires_streaming_partitioner(self):
+        with pytest.raises(SpecError, match="cannot consume a stream"):
+            PipelineSpec(source="edgelist?path=g.txt", partition="ebv")
+
+    def test_sharded_streams_only_without_sorting(self):
+        with pytest.raises(SpecError, match="cannot consume a stream"):
+            PipelineSpec(source="edgelist?path=g.txt", partition="ebv-sharded")
+        spec = PipelineSpec(
+            source="edgelist?path=g.txt",
+            partition="ebv-sharded?sort_edges=false",
+        )
+        assert spec.source_is_stream
+
+    def test_stream_spec_round_trips(self):
+        spec = PipelineSpec(
+            source="edgelist?chunk_size=64,path=g.txt",
+            partition="ebv-stream?chunk_size=32",
+            parts=4,
+            app="cc",
+        )
+        clone = PipelineSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.source_is_stream

@@ -1,0 +1,92 @@
+"""Streaming degree-sketch fidelity: a 10-edge graph traced by hand.
+
+Mirrors ``tests/partition/test_ebv_hand_traced.py``: the expected state
+after every chunk is computed on paper, not by re-running the code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.stream import ArrayEdgeStream, DegreeSketch
+
+#: the 10 edges of the trace, fed in chunks of 3, 3, 3, 1.
+EDGES = [
+    (0, 1), (0, 2), (1, 2),        # chunk 1
+    (3, 3), (2, 4), (0, 5),        # chunk 2 (note the self loop at 3)
+    (5, 1), (4, 3), (2, 2),        # chunk 3 (self loop at 2)
+    (1, 4),                        # chunk 4
+]
+
+
+class TestHandTrace:
+    def test_degrees_after_every_chunk(self):
+        """Each endpoint occurrence adds 1; a self loop adds 2 to its vertex.
+
+        chunk 1: (0,1) (0,2) (1,2)
+            0: 2, 1: 2, 2: 2                         -> [2, 2, 2]
+        chunk 2: (3,3) (2,4) (0,5)
+            3: +2 = 2, 2: +1 = 3, 4: +1 = 1,
+            0: +1 = 3, 5: +1 = 1                     -> [3, 2, 3, 2, 1, 1]
+        chunk 3: (5,1) (4,3) (2,2)
+            5: +1 = 2, 1: +1 = 3, 4: +1 = 2,
+            3: +1 = 3, 2: +2 = 5                     -> [3, 3, 5, 3, 2, 2]
+        chunk 4: (1,4)
+            1: +1 = 4, 4: +1 = 3                     -> [3, 4, 5, 3, 3, 2]
+        """
+        edges = np.asarray(EDGES, dtype=np.int64)
+        sketch = DegreeSketch()
+
+        sketch.update(edges[0:3, 0], edges[0:3, 1])
+        assert sketch.degrees.tolist() == [2, 2, 2]
+        assert sketch.num_vertices == 3
+        assert sketch.num_edges == 3
+
+        sketch.update(edges[3:6, 0], edges[3:6, 1])
+        assert sketch.degrees.tolist() == [3, 2, 3, 2, 1, 1]
+        assert sketch.num_vertices == 6
+        assert sketch.num_edges == 6
+
+        sketch.update(edges[6:9, 0], edges[6:9, 1])
+        assert sketch.degrees.tolist() == [3, 3, 5, 3, 2, 2]
+        assert sketch.num_edges == 9
+
+        sketch.update(edges[9:10, 0], edges[9:10, 1])
+        assert sketch.degrees.tolist() == [3, 4, 5, 3, 3, 2]
+        assert sketch.num_vertices == 6
+        assert sketch.num_edges == 10
+        assert sketch.max_degree == 5
+
+    def test_matches_graph_degrees(self):
+        """The final sketch equals Graph.degrees() on the same edges."""
+        g = Graph.from_edges(EDGES, num_vertices=6)
+        sketch = DegreeSketch.from_stream(ArrayEdgeStream.from_graph(g, chunk_size=3))
+        assert np.array_equal(sketch.degrees, g.degrees())
+        assert sketch.num_edges == g.num_edges
+        assert sketch.num_vertices == g.num_vertices
+
+    def test_chunking_is_invisible(self):
+        """Any chunking of the same edges yields the same sketch."""
+        g = Graph.from_edges(EDGES, num_vertices=6)
+        references = [
+            DegreeSketch.from_stream(ArrayEdgeStream.from_graph(g, chunk_size=c))
+            for c in (1, 4, 10)
+        ]
+        for sketch in references:
+            assert sketch.degrees.tolist() == [3, 4, 5, 3, 3, 2]
+
+    def test_degree_of_unseen_vertex_is_zero(self):
+        sketch = DegreeSketch().update(np.array([0]), np.array([1]))
+        assert sketch.degree(0) == 1
+        assert sketch.degree(99) == 0
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            DegreeSketch().update(np.array([-1]), np.array([0]))
+
+    def test_empty_sketch(self):
+        sketch = DegreeSketch()
+        assert sketch.num_vertices == 0
+        assert sketch.num_edges == 0
+        assert sketch.max_degree == 0
+        assert sketch.degrees.shape == (0,)

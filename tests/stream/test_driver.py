@@ -1,0 +1,220 @@
+"""Unit tests for the out-of-core driver, spill format and re-buffering."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, powerlaw_graph
+from repro.partition import (
+    EBVPartitioner,
+    ShardedEBVPartitioner,
+    StreamingEBVPartitioner,
+)
+from repro.stream import (
+    ArrayEdgeStream,
+    GeneratorEdgeStream,
+    SpilledPartition,
+    StreamError,
+    stream_partition,
+    windows,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(120, eta=2.2, min_degree=2, seed=11, name="pl-driver")
+
+
+class TestWindows:
+    def test_rebuffers_to_exact_windows(self):
+        chunks = [
+            (np.arange(i, i + 3, dtype=np.int64),
+             np.arange(i, i + 3, dtype=np.int64) + 1, None)
+            for i in range(0, 30, 3)
+        ]
+        sizes = [s.shape[0] for s, _, _ in windows(iter(chunks), 7)]
+        assert sizes == [7, 7, 7, 7, 2]
+
+    def test_concatenation_preserves_order(self):
+        src = np.arange(23, dtype=np.int64)
+        chunks = [(src[i : i + 4], src[i : i + 4] + 100, None) for i in range(0, 23, 4)]
+        out = np.concatenate([s for s, _, _ in windows(iter(chunks), 5)])
+        assert np.array_equal(out, src)
+
+    def test_window_larger_than_stream(self):
+        out = list(windows(iter([(np.array([1, 2]), np.array([3, 4]), None)]), 100))
+        assert len(out) == 1 and out[0][0].shape[0] == 2
+
+    def test_empty_chunks_skipped(self):
+        empty = np.empty(0, dtype=np.int64)
+        chunks = [(empty, empty, None), (np.array([1]), np.array([2]), None)]
+        out = list(windows(iter(chunks), 4))
+        assert len(out) == 1
+
+    def test_weights_travel_with_edges(self):
+        chunks = [
+            (np.array([1, 2]), np.array([3, 4]), np.array([0.1, 0.2])),
+            (np.array([5]), np.array([6]), np.array([0.3])),
+        ]
+        out = list(windows(iter(chunks), 2))
+        assert np.allclose(out[0][2], [0.1, 0.2])
+        assert np.allclose(out[1][2], [0.3])
+
+    def test_mixed_weighting_rejected(self):
+        chunks = [
+            (np.array([1]), np.array([2]), None),
+            (np.array([3]), np.array([4]), np.array([1.0])),
+        ]
+        with pytest.raises(StreamError, match="mixes weighted"):
+            list(windows(iter(chunks), 10))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(StreamError):
+            list(windows(iter([]), 0))
+
+
+class TestStreamPartition:
+    def test_spill_layout(self, graph, tmp_path):
+        spill = str(tmp_path / "spill")
+        spilled = stream_partition(
+            ArrayEdgeStream.from_graph(graph, chunk_size=31),
+            StreamingEBVPartitioner(chunk_size=16), 3, spill,
+        )
+        names = sorted(os.listdir(spill))
+        assert "manifest.json" in names
+        assert "edge_parts.bin" in names
+        assert any(n.startswith("shard_") for n in names)
+        total = sum(spilled.part_edges(i)[0].shape[0] for i in range(3))
+        assert total == graph.num_edges
+
+    def test_shards_cover_each_edge_once(self, graph, tmp_path):
+        spilled = stream_partition(
+            ArrayEdgeStream.from_graph(graph, chunk_size=31),
+            StreamingEBVPartitioner(chunk_size=16), 4, str(tmp_path / "s"),
+        )
+        all_eids = np.concatenate(
+            [spilled.part_edges(i)[0] for i in range(4)]
+        )
+        assert np.array_equal(np.sort(all_eids), np.arange(graph.num_edges))
+
+    def test_refuses_overwrite_by_default(self, graph, tmp_path):
+        spill = str(tmp_path / "s")
+        stream = ArrayEdgeStream.from_graph(graph, chunk_size=31)
+        part = StreamingEBVPartitioner(chunk_size=16)
+        stream_partition(stream, part, 2, spill)
+        with pytest.raises(StreamError, match="overwrite"):
+            stream_partition(stream, part, 2, spill)
+        stream_partition(stream, part, 2, spill, overwrite=True)
+
+    def test_overwrite_clears_stale_shards(self, graph, tmp_path):
+        """A re-spill must not inherit shard files from the previous run.
+
+        The big first run populates every part's shard; the tiny second
+        run leaves most parts empty — any stale shard would then crash
+        assembly with out-of-range edge ids.
+        """
+        spill = str(tmp_path / "s")
+        stream_partition(
+            ArrayEdgeStream.from_graph(graph, chunk_size=31),
+            StreamingEBVPartitioner(chunk_size=16), 8, spill,
+        )
+        tiny = stream_partition(
+            ArrayEdgeStream([0, 1], [1, 2]),
+            StreamingEBVPartitioner(), 8, spill, overwrite=True,
+        )
+        assert tiny.num_edges == 2
+        result = tiny.assemble()
+        assert result.graph.num_edges == 2
+        assert sum(tiny.part_edges(i)[0].shape[0] for i in range(8)) == 2
+
+    def test_overwrite_clears_stale_partial_spill(self, graph, tmp_path):
+        """Leftovers without a manifest (crashed run) are cleared too."""
+        spill = tmp_path / "s"
+        spill.mkdir()
+        (spill / "shard_00007.bin").write_bytes(b"\x00" * 24)
+        (spill / "edge_parts.bin").write_bytes(b"\x00" * 8)
+        spilled = stream_partition(
+            ArrayEdgeStream([0, 1], [1, 2]),
+            StreamingEBVPartitioner(), 8, str(spill),
+        )
+        assert spilled.edge_parts().shape == (2,)
+        assert spilled.part_edges(7)[0].shape == (0,)
+
+    def test_non_streaming_partitioner_rejected(self, graph, tmp_path):
+        with pytest.raises(StreamError, match="does not support streaming"):
+            stream_partition(
+                ArrayEdgeStream.from_graph(graph),
+                EBVPartitioner(), 2, str(tmp_path / "s"),
+            )
+
+    def test_sorted_sharded_rejected(self, graph, tmp_path):
+        with pytest.raises(ValueError, match="sort_edges"):
+            stream_partition(
+                ArrayEdgeStream.from_graph(graph),
+                ShardedEBVPartitioner(sort_edges=True), 2, str(tmp_path / "s"),
+            )
+
+    def test_totals_partitioner_needs_reiterable_stream(self, graph, tmp_path):
+        one_shot = GeneratorEdgeStream(iter([(graph.src, graph.dst)]))
+        with pytest.raises(StreamError, match="one\\s*pass|only one"):
+            stream_partition(
+                one_shot,
+                ShardedEBVPartitioner(sort_edges=False), 2, str(tmp_path / "s"),
+            )
+
+    def test_empty_stream(self, tmp_path):
+        spilled = stream_partition(
+            ArrayEdgeStream([], []), StreamingEBVPartitioner(), 3,
+            str(tmp_path / "s"),
+        )
+        assert spilled.num_edges == 0
+        assert spilled.edge_parts().shape == (0,)
+        result = spilled.assemble()
+        assert result.graph.num_edges == 0
+        assert result.graph.num_vertices == 1
+
+    def test_single_part(self, graph, tmp_path):
+        spilled = stream_partition(
+            ArrayEdgeStream.from_graph(graph, chunk_size=17),
+            StreamingEBVPartitioner(), 1, str(tmp_path / "s"),
+        )
+        assert (spilled.edge_parts() == 0).all()
+
+    def test_vertex_count_uses_header_hint(self, tmp_path):
+        # A stream whose hint promises more vertices than the edges touch
+        # (isolated trailing vertices must survive assembly).
+        stream = ArrayEdgeStream([0, 1], [1, 2], name="hinted")
+        stream.num_vertices_hint = 10
+        spilled = stream_partition(
+            stream, StreamingEBVPartitioner(), 2, str(tmp_path / "s")
+        )
+        assert spilled.num_vertices == 10
+        assert spilled.assemble().graph.num_vertices == 10
+
+
+class TestSpilledPartitionLoad:
+    def test_reload_from_directory(self, graph, tmp_path):
+        spill = str(tmp_path / "s")
+        first = stream_partition(
+            ArrayEdgeStream.from_graph(graph, chunk_size=31),
+            StreamingEBVPartitioner(chunk_size=16), 3, spill,
+        )
+        reloaded = SpilledPartition(spill)
+        assert reloaded.num_edges == first.num_edges
+        assert np.array_equal(reloaded.edge_parts(), first.edge_parts())
+        assert np.array_equal(
+            reloaded.assemble().edge_parts, first.assemble().edge_parts
+        )
+
+    def test_not_a_spill_dir(self, tmp_path):
+        with pytest.raises(StreamError):
+            SpilledPartition(str(tmp_path))
+
+    def test_part_out_of_range(self, graph, tmp_path):
+        spilled = stream_partition(
+            ArrayEdgeStream.from_graph(graph), StreamingEBVPartitioner(), 2,
+            str(tmp_path / "s"),
+        )
+        with pytest.raises(StreamError, match="out of range"):
+            spilled.part_edges(5)

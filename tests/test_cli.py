@@ -89,6 +89,90 @@ class TestPartition:
         assert parts.min() >= 0 and parts.max() < 4
 
 
+class TestStreamPartition:
+    def test_spills_and_prints_table(self, edge_file, tmp_path, capsys):
+        spill = str(tmp_path / "spill")
+        assert main([
+            "stream-partition", edge_file, "--parts", "4",
+            "--chunk-size", "128", "--spill-dir", spill,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RF" in out and "PeakRSS" in out and spill in out
+        import os
+        assert os.path.exists(os.path.join(spill, "manifest.json"))
+
+    def test_matches_inmemory_partition(self, edge_file, tmp_path, capsys):
+        from repro.graph import read_edge_list
+        from repro.partition import StreamingEBVPartitioner
+        from repro.stream import SpilledPartition
+
+        spill = str(tmp_path / "spill")
+        assert main([
+            "stream-partition", edge_file,
+            "--method", "ebv-stream?chunk_size=64",
+            "--parts", "4", "--chunk-size", "100", "--spill-dir", spill,
+        ]) == 0
+        g = read_edge_list(edge_file)
+        expected = StreamingEBVPartitioner(chunk_size=64).partition(g, 4)
+        assert np.array_equal(
+            SpilledPartition(spill).edge_parts(), expected.edge_parts
+        )
+
+    def test_json_output(self, edge_file, tmp_path, capsys):
+        spill = str(tmp_path / "spill")
+        assert main([
+            "stream-partition", edge_file, "--parts", "2",
+            "--spill-dir", spill, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_parts"] == 2
+        assert payload["spill_dir"] == spill
+        assert payload["seconds"] > 0
+
+    def test_npy_format_auto_detected(self, edge_file, tmp_path, capsys):
+        from repro.graph import read_edge_list
+        from repro.stream import SpilledPartition, save_edge_npy
+
+        g = read_edge_list(edge_file)
+        npy = str(tmp_path / "g.npy")
+        save_edge_npy(npy, g)
+        text_spill = str(tmp_path / "text-spill")
+        npy_spill = str(tmp_path / "npy-spill")
+        assert main([
+            "stream-partition", edge_file, "--parts", "4",
+            "--spill-dir", text_spill,
+        ]) == 0
+        assert main([
+            "stream-partition", npy, "--parts", "4", "--spill-dir", npy_spill,
+        ]) == 0
+        assert np.array_equal(
+            SpilledPartition(text_spill).edge_parts(),
+            SpilledPartition(npy_spill).edge_parts(),
+        )
+
+    def test_non_streaming_method_reports_error(self, edge_file, tmp_path, capsys):
+        assert main([
+            "stream-partition", edge_file, "--method", "ebv",
+            "--spill-dir", str(tmp_path / "s"),
+        ]) == 2
+        assert "does not support streaming" in capsys.readouterr().err
+
+    def test_existing_spill_needs_overwrite(self, edge_file, tmp_path, capsys):
+        spill = str(tmp_path / "spill")
+        args = ["stream-partition", edge_file, "--parts", "2", "--spill-dir", spill]
+        assert main(args) == 0
+        assert main(args) == 2
+        assert "overwrite" in capsys.readouterr().err
+        assert main(args + ["--overwrite"]) == 0
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        assert main([
+            "stream-partition", str(tmp_path / "nope.txt"),
+            "--spill-dir", str(tmp_path / "s"),
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestRun:
     def test_cc(self, edge_file, capsys):
         assert main(["run", edge_file, "--app", "CC", "--workers", "4"]) == 0
