@@ -35,7 +35,8 @@ class BFS(SubgraphProgram):
         return local.global_ids == self.source
 
     def compute(
-        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray
+        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray,
+        superstep: int = 0,
     ) -> ComputeResult:
         """Frontier expansion with unit weights (see SSSP for the scheme)."""
         before = values.copy()

@@ -37,14 +37,17 @@ class ConnectedComponents(SubgraphProgram):
     def __init__(self, local_convergence: bool = True):
         self.local_convergence = bool(local_convergence)
         self.reactivate_changed = not self.local_convergence
-        self._built = set()  # workers whose union-find pass has been charged
 
     def initial_values(self, local: LocalSubgraph) -> np.ndarray:
         """Every vertex starts with its own global id as its label."""
         return local.global_ids.astype(np.int64).copy()
 
     def compute(
-        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray
+        self,
+        local: LocalSubgraph,
+        values: np.ndarray,
+        active: np.ndarray,
+        superstep: int = 0,
     ) -> ComputeResult:
         """Run the local sequential CC for one superstep.
 
@@ -67,11 +70,13 @@ class ConnectedComponents(SubgraphProgram):
                 changed=values < before, work_units=2.0 * src.size
             )
         roots = local.cc_roots()
-        # Charge the full union-find pass once; later supersteps only
-        # merge incoming label changes into the (static) components.
-        key = (id(local), local.worker_id)
-        if key not in self._built:
-            self._built.add(key)
+        # The full union-find pass is charged exactly at superstep 0
+        # (every worker computes then — all vertices start active);
+        # later supersteps only merge incoming label changes into the
+        # static components.  Keyed on the superstep, not on hidden
+        # instance state, so the accounting survives checkpoint/resume,
+        # which re-instantiates programs mid-run.
+        if superstep == 0:
             work = float(src.size + local.num_vertices)
         else:
             work = float(active.sum() + np.unique(roots).size)

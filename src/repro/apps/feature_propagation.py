@@ -77,7 +77,9 @@ class FeaturePropagation(SubgraphProgram):
         """Each worker holds the feature rows of its local vertices."""
         return self.features[local.global_ids].copy()
 
-    def compute(self, local: LocalSubgraph, values: np.ndarray, active) -> ComputeResult:
+    def compute(
+        self, local: LocalSubgraph, values: np.ndarray, active, superstep: int = 0
+    ) -> ComputeResult:
         """Partial = Σ over local in-edges of X[src]/outdeg(src)."""
         partials = np.zeros_like(values)
         src, dst = local.src, local.dst

@@ -53,13 +53,14 @@ class KCore(SubgraphProgram):
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = int(k)
-        self._alive = {}
 
     def initial_values(self, local: LocalSubgraph) -> np.ndarray:
         """Everyone starts alive."""
         return np.ones(local.num_vertices)
 
-    def compute(self, local: LocalSubgraph, values: np.ndarray, active) -> ComputeResult:
+    def compute(
+        self, local: LocalSubgraph, values: np.ndarray, active, superstep: int = 0
+    ) -> ComputeResult:
         """Partial = local alive-degree of each vertex."""
         partials = np.zeros(local.num_vertices)
         src, dst = local.src, local.dst

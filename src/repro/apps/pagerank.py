@@ -62,7 +62,7 @@ class PageRank(SubgraphProgram):
         return np.full(local.num_vertices, 1.0 / self.num_vertices)
 
     def compute(
-        self, local: LocalSubgraph, values: np.ndarray, active
+        self, local: LocalSubgraph, values: np.ndarray, active, superstep: int = 0
     ) -> ComputeResult:
         """Accumulate rank/outdeg along local edges into partial sums."""
         partials = np.zeros(local.num_vertices)

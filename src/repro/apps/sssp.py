@@ -62,7 +62,8 @@ class SSSP(SubgraphProgram):
         return local.global_ids == self.source
 
     def compute(
-        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray
+        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray,
+        superstep: int = 0,
     ) -> ComputeResult:
         """Frontier relaxation from the vertices updated since last sync.
 

@@ -20,6 +20,12 @@ authoritative for all paper figures (see DESIGN.md §3 and the
 :mod:`repro.runtime` package docstring).  Message counts are exact —
 every replica value transfer is tallied on the sending and receiving
 worker.
+
+Long runs can be made crash-tolerant with superstep-granular
+checkpointing (``checkpoint_dir=``/``checkpoint_every=``, resumed via
+``run(..., resume_from=dir)``): snapshots are written atomically after
+a completed superstep and a resumed run is bit-identical to an
+uninterrupted one on every backend — see :mod:`repro.checkpoint`.
 """
 
 from __future__ import annotations
@@ -78,6 +84,10 @@ class BSPRun:
     values: Optional[np.ndarray] = None
     #: name of the runtime backend that executed the computation stages.
     backend: str = "serial"
+    #: superstep boundary this run was resumed from (``None`` = fresh run).
+    #: Deterministic results are identical either way; this only records
+    #: provenance for reporting.
+    resumed_from: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Aggregates used by the paper's tables
@@ -182,6 +192,17 @@ class BSPEngine:
         ``"process"``), or ``None`` for the serial reference.  Backends
         change wall-clock time only — results and cost-model accounting
         are identical across all of them.
+    checkpoint_dir:
+        When set, superstep-granular snapshots are written here through
+        :mod:`repro.checkpoint` (atomic tmp+rename directories with a
+        checksummed manifest), and a resumed run (``run(...,
+        resume_from=...)``) is bit-identical to an uninterrupted one.
+    checkpoint_every:
+        Snapshot cadence in supersteps (boundary ``k`` is snapshotted
+        when ``k % checkpoint_every == 0``); a final snapshot is always
+        written when the run terminates.
+    checkpoint_keep:
+        Retain only the newest ``n`` snapshots (``None`` keeps all).
     """
 
     def __init__(
@@ -189,10 +210,22 @@ class BSPEngine:
         cost_model: Optional[CostModel] = None,
         max_supersteps: int = 500,
         backend: Union[None, str, "object"] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        checkpoint_keep: Optional[int] = 2,
     ):
         self.cost_model = cost_model or CostModel()
         self.max_supersteps = max_supersteps
         self.backend = backend
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = checkpoint_keep
+        if checkpoint_dir is not None:
+            # Fail on a bad cadence/retention at construction, not at
+            # the first superstep boundary of a long run.
+            from ..checkpoint import CheckpointWriter
+
+            CheckpointWriter(checkpoint_dir, every=checkpoint_every, keep=checkpoint_keep)
 
     def _resolve_backend(self):
         """Materialize the configured backend (lazy import, no cycles)."""
@@ -209,39 +242,100 @@ class BSPEngine:
             )
         return self.backend
 
-    def run(self, dgraph: DistributedGraph, program: SubgraphProgram) -> BSPRun:
-        """Execute ``program`` to completion and return the full record."""
+    def run(
+        self,
+        dgraph: DistributedGraph,
+        program: SubgraphProgram,
+        resume_from: Optional[str] = None,
+    ) -> BSPRun:
+        """Execute ``program`` to completion and return the full record.
+
+        ``resume_from`` names a checkpoint directory (a root, resuming
+        from its newest snapshot, or one specific ``step-NNNNNN``
+        snapshot).  The snapshot's fingerprint must match this exact
+        run — graph, partition layout, program parameters, cost model —
+        or :class:`repro.checkpoint.CheckpointError` is raised; the
+        resumed execution is bit-identical to the uninterrupted one on
+        every backend.
+        """
         if program.mode not in (MINIMIZE, ACCUMULATE):
             raise ValueError(f"unknown program mode {program.mode!r}")
         backend = self._resolve_backend()
+
+        writer = None
+        snapshot = None
+        fingerprint = None
+        if self.checkpoint_dir is not None or resume_from is not None:
+            from ..checkpoint import (
+                CheckpointWriter,
+                compute_fingerprint,
+                load_snapshot,
+                restore_state,
+                verify_fingerprint,
+            )
+
+            fingerprint = compute_fingerprint(
+                dgraph, program, self.cost_model, self.max_supersteps
+            )
+            if self.checkpoint_dir is not None:
+                writer = CheckpointWriter(
+                    self.checkpoint_dir,
+                    every=self.checkpoint_every,
+                    keep=self.checkpoint_keep,
+                )
+            if resume_from is not None:
+                snapshot = load_snapshot(resume_from)
+                verify_fingerprint(snapshot.fingerprint, fingerprint)
+            elif writer is not None:
+                # A fresh checkpointed run owns its directory: stale
+                # snapshots from a previous run would count toward the
+                # retention limit and shadow this run's progress on a
+                # later resume.
+                from ..checkpoint import clear_snapshots
+
+                clear_snapshots(self.checkpoint_dir)
+
         with backend.session(dgraph, program) as session:
+            run = BSPRun(
+                program=program.name,
+                partition_method=dgraph.partition_method,
+                graph_name=dgraph.graph.name,
+                num_workers=dgraph.num_workers,
+                backend=session.backend_name,
+            )
+            done = False
+            if snapshot is not None:
+                restore_state(session.state, snapshot.arrays)
+                run.supersteps = list(snapshot.supersteps)
+                run.resumed_from = snapshot.superstep
+                done = snapshot.done
+            ckpt = _CheckpointHook(writer, fingerprint, session)
             if program.mode == MINIMIZE:
-                return self._run_minimize(dgraph, program, session)
-            return self._run_accumulate(dgraph, program, session)
+                return self._run_minimize(dgraph, program, session, run, done, ckpt)
+            return self._run_accumulate(dgraph, program, session, run, done, ckpt)
 
     # ------------------------------------------------------------------
     # Minimize mode (CC, SSSP, BFS)
     # ------------------------------------------------------------------
 
     def _run_minimize(
-        self, dgraph: DistributedGraph, program: SubgraphProgram, session
+        self,
+        dgraph: DistributedGraph,
+        program: SubgraphProgram,
+        session,
+        run: BSPRun,
+        resumed_done: bool,
+        ckpt: "_CheckpointHook",
     ) -> BSPRun:
         p = dgraph.num_workers
         values = session.state.values
         active = session.state.active
         changed = session.state.changed
-        run = BSPRun(
-            program=program.name,
-            partition_method=dgraph.partition_method,
-            graph_name=dgraph.graph.name,
-            num_workers=p,
-            backend=session.backend_name,
-        )
-        for _ in range(self.max_supersteps):
-            if not any(bool(a.any()) for a in active):
+        for _ in range(run.num_supersteps, self.max_supersteps):
+            if resumed_done or not any(bool(a.any()) for a in active):
                 break
             t0 = perf_counter()
-            work = session.compute_stage()
+            work = session.compute_stage(run.num_supersteps)
             t_compute = perf_counter() - t0
 
             t0 = perf_counter()
@@ -288,6 +382,11 @@ class BSPEngine:
             )
             if not any(bool(a.any()) for a in active):
                 break
+            ckpt.boundary(run)
+        if not resumed_done:
+            # A resumed-finished run replayed nothing; its done snapshot
+            # is already on disk and need not be rewritten.
+            ckpt.finalize(run)
         run.values = dgraph.gather_master_values(values, default=0)
         return run
 
@@ -296,22 +395,23 @@ class BSPEngine:
     # ------------------------------------------------------------------
 
     def _run_accumulate(
-        self, dgraph: DistributedGraph, program: SubgraphProgram, session
+        self,
+        dgraph: DistributedGraph,
+        program: SubgraphProgram,
+        session,
+        run: BSPRun,
+        resumed_done: bool,
+        ckpt: "_CheckpointHook",
     ) -> BSPRun:
         p = dgraph.num_workers
         values = session.state.values
         changed = session.state.changed
         partials = session.state.partials
-        run = BSPRun(
-            program=program.name,
-            partition_method=dgraph.partition_method,
-            graph_name=dgraph.graph.name,
-            num_workers=p,
-            backend=session.backend_name,
-        )
-        for step in range(self.max_supersteps):
+        for step in range(run.num_supersteps, self.max_supersteps):
+            if resumed_done:
+                break
             t0 = perf_counter()
-            work = session.compute_stage()
+            work = session.compute_stage(run.num_supersteps)
             t_compute = perf_counter() - t0
 
             t0 = perf_counter()
@@ -352,6 +452,9 @@ class BSPEngine:
             )
             if program.has_converged(step, global_delta):
                 break
+            ckpt.boundary(run)
+        if not resumed_done:
+            ckpt.finalize(run)
         run.values = dgraph.gather_master_values(values, default=0.0)
         return run
 
@@ -375,3 +478,43 @@ class BSPEngine:
             comm_seconds=comm,
             real_seconds={"compute": t_compute, "exchange": t_exchange},
         )
+
+
+class _CheckpointHook:
+    """Glue between the superstep loops and the checkpoint writer.
+
+    ``boundary`` runs after every completed superstep (snapshot only on
+    the configured cadence); ``finalize`` runs once when the loop
+    terminates and always snapshots, marked ``done`` so a resume of a
+    finished run replays nothing.  With no writer configured both are
+    no-ops.
+    """
+
+    def __init__(self, writer, fingerprint, session):
+        self._writer = writer
+        self._fingerprint = fingerprint
+        self._session = session
+
+    def _write(self, run: "BSPRun", done: bool) -> None:
+        self._writer.maybe_write(
+            superstep=run.num_supersteps,
+            done=done,
+            fingerprint=self._fingerprint,
+            meta={
+                "program": run.program,
+                "partition_method": run.partition_method,
+                "graph_name": run.graph_name,
+                "num_workers": run.num_workers,
+                "backend": run.backend,
+            },
+            state=self._session.state,
+            supersteps=run.supersteps,
+        )
+
+    def boundary(self, run: "BSPRun") -> None:
+        if self._writer is not None:
+            self._write(run, done=False)
+
+    def finalize(self, run: "BSPRun") -> None:
+        if self._writer is not None:
+            self._write(run, done=True)

@@ -78,12 +78,24 @@ class SubgraphProgram(abc.ABC):
 
     @abc.abstractmethod
     def compute(
-        self, local: LocalSubgraph, values: np.ndarray, active: np.ndarray
+        self,
+        local: LocalSubgraph,
+        values: np.ndarray,
+        active: np.ndarray,
+        superstep: int = 0,
     ) -> ComputeResult:
         """Run the sequential per-subgraph algorithm for one superstep.
 
         Minimize mode must mutate ``values`` in place; accumulate mode
         must leave ``values`` untouched and return partials.
+
+        ``superstep`` is the 0-based index of the superstep being
+        computed.  Programs whose accounting depends on run position
+        (e.g. CC charging its one-time union-find pass on the first
+        superstep) must key off this argument rather than hidden
+        instance state: the engine re-instantiates programs when
+        resuming from a checkpoint, and only superstep-keyed behaviour
+        stays bit-identical across a crash/restart boundary.
         """
 
     # ------------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""``repro.checkpoint`` — superstep-granular checkpoint/restart for BSP runs.
+
+The paper's subgraph-centric BSP model assumes long multi-superstep
+jobs over partitioned graphs; at production scale a crash at superstep
+``k`` would otherwise throw away the whole O(|E|) partition/build plus
+all compute.  Pregel-style systems treat superstep-granular
+checkpointing as the baseline fault-tolerance mechanism, and this
+package is that mechanism for :class:`~repro.bsp.engine.BSPEngine`:
+
+* :mod:`repro.checkpoint.store` — one snapshot per superstep boundary,
+  written **atomically** (everything lands in a ``.tmp-*`` staging
+  directory which is renamed into place only after a checksummed
+  ``manifest.json`` is on disk).  Torn writes, corrupted payloads and
+  hand-edited manifests are all detected at load time and rejected with
+  :class:`CheckpointError` — a damaged checkpoint is never silently
+  resumed.
+* :mod:`repro.checkpoint.fingerprint` — a cheap, exact identity of the
+  run (graph CRCs, partition layout CRCs, program parameters, cost
+  model, superstep cap).  A snapshot only resumes a run whose
+  fingerprint matches bit-for-bit; resuming e.g. a different graph,
+  worker count or PageRank damping fails eagerly.
+* :mod:`repro.checkpoint.writer` — the engine-facing
+  :class:`CheckpointWriter` (``every=k`` cadence, ``keep=n`` retention)
+  plus :func:`restore_state`, which loads a snapshot's per-worker
+  arrays back into any backend session *in place* — including the
+  process backend's ``multiprocessing.shared_memory`` blocks, whose
+  children observe the restored values through their existing mappings.
+
+The resume contract is **bit-identity**: a run resumed from any
+snapshot produces exactly the values, superstep records, message
+tallies and cost-model accounting of the uninterrupted run, on every
+backend (see ``tests/checkpoint/``).  Only real wall-clock differs —
+the pre-crash supersteps keep the walls measured before the crash.
+"""
+
+from __future__ import annotations
+
+from .fingerprint import compute_fingerprint, verify_fingerprint
+from .store import (
+    CheckpointError,
+    Snapshot,
+    clear_snapshots,
+    latest_snapshot_dir,
+    list_snapshots,
+    load_snapshot,
+    write_snapshot,
+)
+from .writer import CheckpointWriter, restore_state, state_arrays
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointWriter",
+    "Snapshot",
+    "clear_snapshots",
+    "compute_fingerprint",
+    "latest_snapshot_dir",
+    "list_snapshots",
+    "load_snapshot",
+    "restore_state",
+    "state_arrays",
+    "verify_fingerprint",
+    "write_snapshot",
+]

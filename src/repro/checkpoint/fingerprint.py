@@ -1,0 +1,166 @@
+"""Run fingerprints: the identity a snapshot is allowed to resume.
+
+A checkpoint is only as safe as its guard against resuming the *wrong*
+run: the same snapshot restored onto a different graph, partition
+layout, program parameterization or cost model would produce silently
+wrong results instead of a crash.  :func:`compute_fingerprint` builds a
+cheap JSON-native identity of everything the resumed superstep loop
+depends on:
+
+* the graph (sizes, directedness, CRC-32 of the edge arrays),
+* the partition layout (method, worker count, CRC-32 over every local
+  subgraph's vertex table, edges and master assignment — this pins the
+  exact replica routing),
+* the program (class, mode, dtype, and every scalar constructor
+  parameter; ndarray parameters such as FEATPROP feature matrices are
+  CRC'd),
+* the cost model and the superstep cap.
+
+CRC-32 is used instead of a cryptographic hash because the threat model
+is accidents (wrong file, drifted config), not adversaries, and the
+fingerprint is recomputed on every checkpointed run — it must stay
+cheap next to a single superstep.  Payload *integrity* (torn writes)
+is separately guarded by the SHA-256 manifest checksums in
+:mod:`repro.checkpoint.store`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import zlib
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .store import CheckpointError
+
+__all__ = ["compute_fingerprint", "verify_fingerprint", "FINGERPRINT_VERSION"]
+
+FINGERPRINT_VERSION = 1
+
+
+def _crc_array(array: Optional[np.ndarray], acc: int = 0) -> int:
+    """Accumulate dtype, shape and bytes of one array into a CRC-32."""
+    if array is None:
+        return zlib.crc32(b"<none>", acc)
+    array = np.ascontiguousarray(array)
+    header = f"{array.dtype.str}:{array.shape}".encode()
+    return zlib.crc32(array.tobytes(), zlib.crc32(header, acc))
+
+
+def _graph_fingerprint(graph) -> Dict[str, Any]:
+    return {
+        "name": graph.name,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "directed": bool(graph.directed),
+        "edges_crc": _crc_array(graph.dst, _crc_array(graph.src)),
+        "weights_crc": _crc_array(getattr(graph, "weights", None)),
+    }
+
+
+def _partition_fingerprint(dgraph) -> Dict[str, Any]:
+    acc = 0
+    for local in dgraph.locals:
+        acc = _crc_array(local.global_ids, acc)
+        acc = _crc_array(local.src, acc)
+        acc = _crc_array(local.dst, acc)
+        acc = _crc_array(local.is_master, acc)
+        acc = _crc_array(local.master_worker, acc)
+    return {
+        "method": dgraph.partition_method,
+        "num_workers": int(dgraph.num_workers),
+        "locals_crc": acc,
+    }
+
+
+_SKIP_VALUE = object()
+
+
+def _fingerprint_value(value: Any):
+    """One program parameter as a JSON-native fingerprint value.
+
+    Scalars pass through, numpy scalars are narrowed, ndarrays become a
+    CRC marker, and JSON-native containers are fingerprinted
+    recursively — two programs differing only inside a list/dict
+    parameter must never fingerprint-identical.  Values with no stable
+    identity (callables, rngs, open handles) return ``_SKIP_VALUE`` and
+    are excluded, as are containers holding any such value.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"ndarray_crc": _crc_array(value)}
+    if isinstance(value, (list, tuple)):
+        items = [_fingerprint_value(item) for item in value]
+        if any(item is _SKIP_VALUE for item in items):
+            return _SKIP_VALUE
+        return ["tuple" if isinstance(value, tuple) else "list", items]
+    if isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            return _SKIP_VALUE
+        items = {k: _fingerprint_value(v) for k, v in sorted(value.items())}
+        if any(v is _SKIP_VALUE for v in items.values()):
+            return _SKIP_VALUE
+        return {"dict": items}
+    return _SKIP_VALUE
+
+
+def _program_fingerprint(program) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for key, value in sorted(vars(program).items()):
+        if key.startswith("_"):
+            continue  # caches (cc roots, CSR) are derived, not identity
+        fingerprinted = _fingerprint_value(value)
+        if fingerprinted is not _SKIP_VALUE:
+            params[key] = fingerprinted
+    return {
+        "class": type(program).__name__,
+        "name": program.name,
+        "mode": program.mode,
+        "dtype": np.dtype(program.dtype).str,
+        "reactivate_changed": bool(program.reactivate_changed),
+        "params": params,
+    }
+
+
+def compute_fingerprint(dgraph, program, cost_model, max_supersteps: int) -> Dict[str, Any]:
+    """The JSON-native identity of one engine run (see module docstring)."""
+    return {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "graph": _graph_fingerprint(dgraph.graph),
+        "partition": _partition_fingerprint(dgraph),
+        "program": _program_fingerprint(program),
+        "cost_model": {
+            k: float(v) for k, v in dataclasses.asdict(cost_model).items()
+        },
+        "max_supersteps": int(max_supersteps),
+    }
+
+
+def verify_fingerprint(saved: Dict[str, Any], current: Dict[str, Any]) -> None:
+    """Raise :class:`CheckpointError` unless the fingerprints match exactly.
+
+    Both sides are normalized through a JSON round-trip so that a
+    fingerprint loaded from a manifest compares equal to one freshly
+    computed (tuples vs lists, int widths).
+    """
+    saved_n = json.loads(json.dumps(saved, sort_keys=True))
+    current_n = json.loads(json.dumps(current, sort_keys=True))
+    if saved_n == current_n:
+        return
+    sections = sorted(
+        key
+        for key in set(saved_n) | set(current_n)
+        if saved_n.get(key) != current_n.get(key)
+    )
+    raise CheckpointError(
+        "checkpoint fingerprint does not match this run (stale or foreign "
+        f"checkpoint); mismatched sections: {', '.join(sections)}. Resuming "
+        "would silently corrupt results, refusing."
+    )

@@ -1,0 +1,426 @@
+"""Snapshot storage: atomic directories, checksummed manifests.
+
+Layout
+------
+A checkpoint *root* holds one subdirectory per snapshot plus nothing
+else the store depends on (pipeline-level callers drop ``pipeline.json``
+and a ``spill/`` directory next to the snapshots)::
+
+    root/
+      step-000002/
+        manifest.json     # format, superstep, fingerprint, checksums
+        state.npz         # per-worker arrays: values_00000, active_00000, ...
+        supersteps.npz    # stacked (k, p) work/sent/received/comp/comm
+      step-000004/
+      ...
+
+Atomicity: a snapshot is staged in ``root/.tmp-step-*``; payload files
+are written first, then ``manifest.json`` (carrying each payload's
+SHA-256 and byte size) is written and fsynced, and only then is the
+staging directory renamed into place.  A crash at any point leaves
+either the previous snapshots untouched plus at most one ``.tmp-*``
+directory (ignored and garbage-collected by later writes), or the new
+snapshot complete.  :func:`load_snapshot` re-hashes every payload
+against the manifest, so torn or bit-flipped files are detected and
+rejected — never silently resumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "CheckpointError",
+    "Snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "latest_snapshot_dir",
+    "list_snapshots",
+]
+
+SNAPSHOT_FORMAT = "repro-checkpoint"
+SNAPSHOT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_STATE = "state.npz"
+_SUPERSTEPS = "supersteps.npz"
+_STEP_RE = re.compile(r"^step-(\d{6,})$")
+#: the stacked per-superstep record arrays, in manifest order.
+_SUPERSTEP_FIELDS = ("work", "sent", "received", "comp_seconds", "comm_seconds")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, torn, or belongs to another run."""
+
+
+def _step_dirname(superstep: int) -> str:
+    return f"step-{superstep:06d}"
+
+
+def _sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass
+class Snapshot:
+    """One loaded, checksum-verified snapshot.
+
+    ``arrays`` maps array kind (``"values"``, ``"changed"``, and
+    ``"active"`` or ``"partials"`` depending on program mode) to the
+    per-worker list; ``supersteps`` is the reconstructed
+    :class:`~repro.bsp.engine.SuperstepStats` list for every superstep
+    completed before the snapshot was taken.
+    """
+
+    directory: str
+    superstep: int
+    done: bool
+    fingerprint: Dict[str, Any]
+    meta: Dict[str, Any]
+    arrays: Dict[str, List[np.ndarray]]
+    supersteps: List  # List[SuperstepStats]; typed loosely to avoid an import cycle
+
+
+def list_snapshots(root: str) -> List[str]:
+    """Valid-looking snapshot directories under ``root``, oldest first.
+
+    Only checks naming (``step-NNNNNN`` with a manifest present);
+    integrity is verified by :func:`load_snapshot`.
+    """
+    if not os.path.isdir(root):
+        return []
+    found = []
+    for name in os.listdir(root):
+        match = _STEP_RE.match(name)
+        path = os.path.join(root, name)
+        if match and os.path.isfile(os.path.join(path, _MANIFEST)):
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def clear_snapshots(root: str) -> int:
+    """Remove every snapshot (and staging leftovers) under ``root``.
+
+    Called by the engine when a *fresh* checkpointed run starts: stale
+    snapshots from a previous run would otherwise poison retention
+    pruning (they count toward ``keep``) and resume (the stale final
+    snapshot shadows the new run's progress).  Returns the number of
+    snapshots removed.
+    """
+    removed = 0
+    if not os.path.isdir(root):
+        return removed
+    for path in list_snapshots(root):
+        shutil.rmtree(path, ignore_errors=True)
+        removed += 1
+    for name in os.listdir(root):
+        if name.startswith(".tmp-step-") or name.startswith(".old-step-"):
+            shutil.rmtree(os.path.join(root, name), ignore_errors=True)
+    return removed
+
+
+def latest_snapshot_dir(root: str) -> str:
+    """The newest snapshot directory under ``root`` (highest superstep)."""
+    snaps = list_snapshots(root)
+    if not snaps:
+        raise CheckpointError(
+            f"{root!r} contains no checkpoint snapshots (expected step-NNNNNN "
+            "directories with a manifest.json)"
+        )
+    return snaps[-1]
+
+
+def write_snapshot(
+    root: str,
+    *,
+    superstep: int,
+    done: bool,
+    fingerprint: Dict[str, Any],
+    meta: Dict[str, Any],
+    arrays: Dict[str, List[np.ndarray]],
+    supersteps: List,
+    keep: Optional[int] = 2,
+) -> str:
+    """Atomically persist one snapshot; return its final directory.
+
+    ``keep`` prunes all but the newest ``keep`` snapshots after a
+    successful write (``None`` keeps everything — the crash-matrix test
+    harness resumes from every boundary of one run).
+    """
+    os.makedirs(root, exist_ok=True)
+    final_dir = os.path.join(root, _step_dirname(superstep))
+    tmp_dir = os.path.join(root, f".tmp-{_step_dirname(superstep)}-{os.getpid()}")
+    if os.path.isdir(tmp_dir):
+        shutil.rmtree(tmp_dir)
+    os.makedirs(tmp_dir)
+    try:
+        state_payload: Dict[str, np.ndarray] = {}
+        for kind, worker_arrays in sorted(arrays.items()):
+            for w, arr in enumerate(worker_arrays):
+                state_payload[f"{kind}_{w:05d}"] = np.ascontiguousarray(arr)
+        np.savez(os.path.join(tmp_dir, _STATE), **state_payload)
+
+        steps_payload = _stack_supersteps(supersteps, meta["num_workers"])
+        np.savez(os.path.join(tmp_dir, _SUPERSTEPS), **steps_payload)
+
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "superstep": int(superstep),
+            "done": bool(done),
+            "fingerprint": fingerprint,
+            "meta": dict(meta),
+            "array_kinds": sorted(arrays),
+            "real_seconds": [
+                {k: float(v) for k, v in s.real_seconds.items()} for s in supersteps
+            ],
+            "files": {
+                name: {
+                    "sha256": _sha256(os.path.join(tmp_dir, name)),
+                    "bytes": os.path.getsize(os.path.join(tmp_dir, name)),
+                }
+                for name in (_STATE, _SUPERSTEPS)
+            },
+        }
+        manifest_path = os.path.join(tmp_dir, _MANIFEST)
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        # The payloads must be durable before the rename publishes the
+        # snapshot — otherwise power loss after the rename commits can
+        # leave a published snapshot whose data never reached disk.
+        for name in (_STATE, _SUPERSTEPS):
+            fd = os.open(os.path.join(tmp_dir, name), os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+        # Re-checkpointing a boundary that already has a snapshot (a
+        # resumed run overtaking its pre-crash snapshots) replaces it
+        # with two atomic renames — old aside, new in — never by
+        # deleting first: a crash can lose this one boundary only in
+        # the two-syscall window between the renames, instead of the
+        # whole serialize-and-hash window a rmtree-then-write would
+        # leave open.  The retired copy is garbage-collected afterwards
+        # (and by the next write's stale-dir sweep if we crash here).
+        retired = None
+        if os.path.isdir(final_dir):
+            retired = os.path.join(root, f".old-{_step_dirname(superstep)}-{os.getpid()}")
+            if os.path.isdir(retired):
+                shutil.rmtree(retired)
+            os.rename(final_dir, retired)
+        os.rename(tmp_dir, final_dir)
+        if retired is not None:
+            shutil.rmtree(retired, ignore_errors=True)
+    except BaseException:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        raise
+    _fsync_dir(root)
+    _prune(root, keep=keep, protect=final_dir)
+    return final_dir
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort durability for the rename itself."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def _prune(root: str, keep: Optional[int], protect: str) -> None:
+    """Drop old snapshots and stale staging dirs after a successful write."""
+    for name in os.listdir(root):
+        if name.startswith(".tmp-step-") or name.startswith(".old-step-"):
+            shutil.rmtree(os.path.join(root, name), ignore_errors=True)
+    if keep is None:
+        return
+    snaps = list_snapshots(root)
+    for path in snaps[: max(0, len(snaps) - keep)]:
+        if os.path.abspath(path) != os.path.abspath(protect):
+            shutil.rmtree(path, ignore_errors=True)
+
+
+def _stack_supersteps(supersteps: List, num_workers: int) -> Dict[str, np.ndarray]:
+    """Stack the per-superstep record into (k, p) arrays for one npz."""
+    k = len(supersteps)
+    payload: Dict[str, np.ndarray] = {}
+    for fieldname in _SUPERSTEP_FIELDS:
+        if k:
+            payload[fieldname] = np.stack(
+                [np.asarray(getattr(s, fieldname)) for s in supersteps]
+            )
+        else:
+            dtype = np.int64 if fieldname in ("sent", "received") else np.float64
+            payload[fieldname] = np.empty((0, num_workers), dtype=dtype)
+    return payload
+
+
+def _load_manifest(directory: str) -> Dict[str, Any]:
+    manifest_path = os.path.join(directory, _MANIFEST)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(
+            f"{directory!r} is not a checkpoint snapshot: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupted checkpoint manifest {manifest_path!r}: {exc}"
+        ) from exc
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise CheckpointError(f"{manifest_path!r} is not a {SNAPSHOT_FORMAT} manifest")
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {manifest.get('version')!r} in "
+            f"{manifest_path!r} (this build reads version {SNAPSHOT_VERSION})"
+        )
+    superstep = manifest.get("superstep")
+    if isinstance(superstep, bool) or not isinstance(superstep, int) or superstep < 0:
+        raise CheckpointError(
+            f"checkpoint manifest {manifest_path!r} lacks a valid 'superstep' "
+            f"entry (got {superstep!r})"
+        )
+    if not isinstance(manifest.get("done"), bool):
+        raise CheckpointError(
+            f"checkpoint manifest {manifest_path!r} lacks a valid 'done' entry"
+        )
+    return manifest
+
+
+def load_snapshot(path: str) -> Snapshot:
+    """Load and verify one snapshot.
+
+    ``path`` may be a snapshot directory or a checkpoint root.  For a
+    root the newest snapshot is loaded, falling back to older ones when
+    the newest fails verification — retention keeps more than one
+    snapshot precisely so that a snapshot damaged by the crash itself
+    does not make the run unresumable.  A *specific* snapshot directory
+    is verified strictly: every payload is re-hashed against the
+    manifest, and any mismatch (torn write, truncation, bit rot) raises
+    :class:`CheckpointError` with no fallback.
+    """
+    if not os.path.isdir(path):
+        raise CheckpointError(f"checkpoint path {path!r} does not exist")
+    if not os.path.isfile(os.path.join(path, _MANIFEST)):
+        candidates = list_snapshots(path)
+        if not candidates:
+            latest_snapshot_dir(path)  # raises the canonical empty-root error
+        failures = []
+        for candidate in reversed(candidates):
+            try:
+                return _load_snapshot_dir(candidate)
+            except CheckpointError as exc:
+                failures.append(f"{candidate}: {exc}")
+        raise CheckpointError(
+            f"every snapshot under {path!r} failed verification:\n  "
+            + "\n  ".join(failures)
+        )
+    return _load_snapshot_dir(path)
+
+
+def _load_snapshot_dir(path: str) -> Snapshot:
+    """Strictly load one specific snapshot directory."""
+    manifest = _load_manifest(path)
+
+    files = manifest.get("files")
+    if not isinstance(files, dict) or set(files) != {_STATE, _SUPERSTEPS}:
+        raise CheckpointError(f"checkpoint manifest in {path!r} lists no payload files")
+    for name, entry in files.items():
+        payload_path = os.path.join(path, name)
+        if not os.path.isfile(payload_path):
+            raise CheckpointError(f"checkpoint payload {payload_path!r} is missing")
+        size = os.path.getsize(payload_path)
+        if size != entry.get("bytes"):
+            raise CheckpointError(
+                f"torn checkpoint payload {payload_path!r}: {size} bytes on disk, "
+                f"manifest promises {entry.get('bytes')}"
+            )
+        digest = _sha256(payload_path)
+        if digest != entry.get("sha256"):
+            raise CheckpointError(
+                f"checksum mismatch for checkpoint payload {payload_path!r} "
+                "(torn or corrupted write); refusing to resume"
+            )
+
+    meta = manifest.get("meta") or {}
+    num_workers = int(meta.get("num_workers", 0))
+    superstep = int(manifest["superstep"])
+
+    try:
+        with np.load(os.path.join(path, _STATE)) as npz:
+            state_items = {name: npz[name] for name in npz.files}
+        with np.load(os.path.join(path, _SUPERSTEPS)) as npz:
+            step_items = {name: npz[name] for name in npz.files}
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"unreadable checkpoint payload in {path!r}: {exc}") from exc
+
+    arrays: Dict[str, List[np.ndarray]] = {}
+    for kind in manifest.get("array_kinds", []):
+        worker_arrays = []
+        for w in range(num_workers):
+            key = f"{kind}_{w:05d}"
+            if key not in state_items:
+                raise CheckpointError(
+                    f"checkpoint state in {path!r} is missing array {key!r}"
+                )
+            worker_arrays.append(state_items[key])
+        arrays[kind] = worker_arrays
+
+    missing = [f for f in _SUPERSTEP_FIELDS if f not in step_items]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint superstep record in {path!r} is missing {missing}"
+        )
+    real_seconds = manifest.get("real_seconds", [])
+    if step_items["work"].shape[0] != superstep or len(real_seconds) != superstep:
+        raise CheckpointError(
+            f"checkpoint in {path!r} records "
+            f"{step_items['work'].shape[0]} supersteps but claims boundary "
+            f"{superstep}"
+        )
+
+    from ..bsp.engine import SuperstepStats  # deferred: engine imports us lazily
+
+    supersteps = [
+        SuperstepStats(
+            work=step_items["work"][i],
+            sent=step_items["sent"][i],
+            received=step_items["received"][i],
+            comp_seconds=step_items["comp_seconds"][i],
+            comm_seconds=step_items["comm_seconds"][i],
+            real_seconds={k: float(v) for k, v in real_seconds[i].items()},
+        )
+        for i in range(superstep)
+    ]
+    return Snapshot(
+        directory=path,
+        superstep=superstep,
+        done=bool(manifest["done"]),
+        fingerprint=manifest.get("fingerprint") or {},
+        meta=meta,
+        arrays=arrays,
+        supersteps=supersteps,
+    )

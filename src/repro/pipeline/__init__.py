@@ -13,10 +13,12 @@ future server):
 * :mod:`repro.pipeline.spec` — :class:`PipelineSpec`, a whole run as one
   JSON document;
 * :mod:`repro.pipeline.builder` — the fluent :class:`Pipeline` builder,
-  :class:`PipelineResult` and :func:`run_spec`.
+  :class:`PipelineResult`, :func:`run_spec`, and
+  :func:`resume_pipeline`, which continues a crashed checkpointed run
+  from its newest :mod:`repro.checkpoint` snapshot (``repro resume``).
 """
 
-from .builder import Pipeline, PipelineResult, run_spec
+from .builder import Pipeline, PipelineResult, resume_pipeline, run_spec
 from .registries import APPS, BACKENDS, EXPERIMENTS, GENERATORS, PARTITIONERS, STREAMS
 from .registry import (
     DuplicateComponentError,
@@ -33,6 +35,7 @@ __all__ = [
     "Pipeline",
     "PipelineResult",
     "run_spec",
+    "resume_pipeline",
     "APPS",
     "BACKENDS",
     "EXPERIMENTS",

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, Optional, Union
@@ -46,12 +48,19 @@ from ..bsp import (
 )
 from ..graph import Graph
 from ..partition import PartitionMetrics, PartitionResult, partition_metrics, refine_vertex_cut
-from ..stream import EdgeChunkStream, stream_partition
+from ..stream import EdgeChunkStream, SpilledPartition, StreamError, stream_partition
 from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS, STREAMS
 from .registry import RegistryError, format_spec, parse_spec
 from .spec import PipelineSpec, SpecError
 
-__all__ = ["Pipeline", "PipelineResult", "run_spec"]
+__all__ = ["Pipeline", "PipelineResult", "run_spec", "resume_pipeline"]
+
+#: the serialized spec a checkpointing pipeline drops into its root so
+#: ``repro resume <dir>`` can rebuild the exact run.
+PIPELINE_SPEC_FILENAME = "pipeline.json"
+#: subdirectory of the checkpoint root holding the persistent stream
+#: spill (reused on resume — no re-partitioning).
+SPILL_SUBDIR = "spill"
 
 
 def _stage(label: str, thunk):
@@ -112,6 +121,9 @@ class PipelineResult:
     #: the routed distributed graph (built only when an app ran); kept
     #: so callers can execute further programs without re-partitioning.
     distributed: Optional[DistributedGraph] = None
+    #: checkpoint root the run wrote snapshots to (``None`` when the
+    #: pipeline ran without checkpointing).
+    checkpoint_dir: Optional[str] = None
     #: the spilled-partition manifest when the source was an out-of-core
     #: stream (``None`` for in-memory sources); records |E|, |V|, the
     #: per-part edge counts and the replication factor as observed by
@@ -134,6 +146,7 @@ class PipelineResult:
                 "comm": self.run.comm,
                 "delta_c": self.run.delta_c,
                 "execution_time": self.run.execution_time,
+                "resumed_from": self.run.resumed_from,
             }
         payload: Dict[str, Any] = {
             "spec": None if self.spec is None else self.spec.to_dict(),
@@ -183,6 +196,7 @@ class Pipeline:
         self._app_overrides: Dict[str, Any] = {}
         self._backend_spec: str = "serial"
         self._cost_model: Optional[CostModel] = None
+        self._checkpoint: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Stage setters
@@ -261,6 +275,30 @@ class Pipeline:
         self._backend_spec = _merge_spec(backend, scalars)
         return self
 
+    def checkpoint(
+        self,
+        directory: Optional[str],
+        every: int = 1,
+        keep: Optional[int] = 2,
+    ) -> "Pipeline":
+        """Checkpoint the BSP run every ``every`` supersteps into ``directory``.
+
+        Snapshots are atomic and checksummed (see :mod:`repro.checkpoint`);
+        the serialized pipeline spec is written alongside them so the run
+        can be continued with ``repro resume <directory>`` or
+        :func:`resume_pipeline`.  ``keep`` bounds the snapshots retained
+        (``None`` keeps all).  Pass ``directory=None`` to disable.
+        """
+        if directory is None:
+            self._checkpoint = None
+            return self
+        from .spec import _canonical_checkpoint
+
+        self._checkpoint = _canonical_checkpoint(
+            {"dir": directory, "every": every, "keep": keep}
+        )
+        return self
+
     def with_cost_model(self, cost_model: Optional[CostModel] = None, **kwargs: Any) -> "Pipeline":
         """Override the BSP cost model (instance or field overrides)."""
         if cost_model is not None and kwargs:
@@ -284,6 +322,7 @@ class Pipeline:
         pipe._app_spec = spec.app
         pipe._backend_spec = spec.backend
         pipe._cost_model = spec.build_cost_model()
+        pipe._checkpoint = None if spec.checkpoint is None else dict(spec.checkpoint)
         return pipe
 
     def spec(self) -> PipelineSpec:
@@ -320,6 +359,7 @@ class Pipeline:
             cost_model=(
                 None if self._cost_model is None else dataclasses.asdict(self._cost_model)
             ),
+            checkpoint=None if self._checkpoint is None else dict(self._checkpoint),
         )
 
     # ------------------------------------------------------------------
@@ -338,8 +378,16 @@ class Pipeline:
                 pass  # malformed specs fail in the source stage proper
         return None
 
-    def execute(self) -> PipelineResult:
-        """Run every configured stage and bundle the results."""
+    def execute(self, resume_from: Optional[str] = None) -> PipelineResult:
+        """Run every configured stage and bundle the results.
+
+        ``resume_from`` names a checkpoint root written by a previous
+        checkpointed execution of the *same* pipeline: the BSP run
+        continues from its newest snapshot (bit-identical to an
+        uninterrupted run — a mismatched checkpoint is rejected by its
+        fingerprint), and a stream source reuses the already-on-disk
+        spill shards instead of re-partitioning.
+        """
         timings: Dict[str, float] = {}
         substage_walls: Dict[str, float] = {}
         if isinstance(self._source, (Graph, EdgeChunkStream)) or any(
@@ -350,6 +398,37 @@ class Pipeline:
             # Eager whole-chain validation: a bad app/partitioner name
             # fails here, before any generation or partitioning work.
             spec = self.spec()
+
+        ckpt = self._checkpoint
+        if resume_from is not None:
+            if ckpt is None:
+                raise SpecError(
+                    "resume_from requires a checkpointed pipeline; call "
+                    ".checkpoint(...) or set the spec's 'checkpoint' entry"
+                )
+            if self._app_spec is None:
+                raise SpecError("resume_from requires an app stage to resume")
+        if ckpt is not None:
+            if spec is not None:
+                _write_pipeline_spec(ckpt["dir"], spec)
+            else:
+                # In-memory sources / object overrides cannot be
+                # serialized, so no pipeline.json is written and
+                # ``repro resume`` will not work for this run.  Engine
+                # snapshots are still written — an in-process
+                # ``execute(resume_from=...)`` on the same objects
+                # resumes fine — but say so up front rather than after
+                # the crash.
+                warnings.warn(
+                    "checkpointing a pipeline whose spec cannot be "
+                    "serialized (in-memory source or object stage "
+                    "arguments): snapshots will be written but 'repro "
+                    "resume' needs pipeline.json; keep the Python "
+                    "objects alive and call execute(resume_from=...) "
+                    "to resume this run",
+                    UserWarning,
+                    stacklevel=2,
+                )
 
         stream_source = self._stream_source()
         stream_info: Optional[Dict[str, Any]] = None
@@ -379,21 +458,52 @@ class Pipeline:
             ),
         )
         if stream_source is not None:
-            # Out-of-core path: spill per-part shards to a scratch dir,
-            # then assemble the in-memory result for the later stages.
-            with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+
+            def spill_and_assemble(spill_dir: str, reuse: bool, overwrite: bool):
+                """Shared out-of-core sequence for both spill locations."""
+                spilled = None
+                if reuse and os.path.isfile(
+                    os.path.join(spill_dir, "manifest.json")
+                ):
+                    try:
+                        spilled = SpilledPartition(spill_dir)
+                    except StreamError:
+                        # A spill damaged by the crash must not block
+                        # resume: re-spilling is deterministic, so fall
+                        # through to the overwrite path below.
+                        spilled = None
+                if spilled is None:
+                    t1 = perf_counter()
+                    spilled = _stage(
+                        "partition",
+                        lambda: stream_partition(
+                            stream, partitioner, self._parts, spill_dir,
+                            overwrite=overwrite,
+                        ),
+                    )
+                    substage_walls["partition.spill"] = perf_counter() - t1
                 t1 = perf_counter()
-                spilled = _stage(
-                    "partition",
-                    lambda: stream_partition(
-                        stream, partitioner, self._parts, spill_dir
-                    ),
-                )
-                substage_walls["partition.spill"] = perf_counter() - t1
-                t1 = perf_counter()
-                result = _stage("partition", spilled.assemble)
+                assembled = _stage("partition", spilled.assemble)
                 substage_walls["partition.assemble"] = perf_counter() - t1
-                stream_info = dict(spilled.manifest)
+                return assembled, dict(spilled.manifest)
+
+            if ckpt is not None:
+                # Checkpointed out-of-core path: the spill is persistent
+                # (it lives with the snapshots) so a resumed run reuses
+                # the already-on-disk shards and skips re-partitioning.
+                result, stream_info = spill_and_assemble(
+                    os.path.join(ckpt["dir"], SPILL_SUBDIR),
+                    reuse=resume_from is not None,
+                    overwrite=True,
+                )
+                stream_info["spill_reused"] = "partition.spill" not in substage_walls
+            else:
+                # Plain out-of-core path: spill per-part shards to a
+                # scratch dir that lives only for this execution.
+                with tempfile.TemporaryDirectory(prefix="repro-spill-") as tmp_spill:
+                    result, stream_info = spill_and_assemble(
+                        tmp_spill, reuse=False, overwrite=False
+                    )
             graph = result.graph
         else:
             result = partitioner.partition(graph, self._parts)
@@ -420,8 +530,14 @@ class Pipeline:
                 lambda: APPS.create(self._app_spec, graph, **self._app_overrides),
             )
             backend = _stage("run", lambda: BACKENDS.create(self._backend_spec))
-            engine = BSPEngine(cost_model=self._cost_model, backend=backend)
-            run = engine.run(dgraph, program)
+            engine = BSPEngine(
+                cost_model=self._cost_model,
+                backend=backend,
+                checkpoint_dir=None if ckpt is None else ckpt["dir"],
+                checkpoint_every=1 if ckpt is None else ckpt["every"],
+                checkpoint_keep=2 if ckpt is None else ckpt["keep"],
+            )
+            run = engine.run(dgraph, program, resume_from=resume_from)
             timings["run"] = perf_counter() - t0
 
         timings["total"] = sum(timings.values())
@@ -441,7 +557,19 @@ class Pipeline:
             spec=spec,
             distributed=dgraph,
             stream=stream_info,
+            checkpoint_dir=None if ckpt is None else ckpt["dir"],
         )
+
+
+def _write_pipeline_spec(root: str, spec: PipelineSpec) -> None:
+    """Persist the spec into the checkpoint root (atomic tmp + rename)."""
+    os.makedirs(root, exist_ok=True)
+    final_path = os.path.join(root, PIPELINE_SPEC_FILENAME)
+    tmp_path = f"{final_path}.tmp-{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        fh.write(spec.to_json())
+        fh.write("\n")
+    os.replace(tmp_path, final_path)
 
 
 def run_spec(spec: Union[PipelineSpec, Dict[str, Any]]) -> PipelineResult:
@@ -451,3 +579,33 @@ def run_spec(spec: Union[PipelineSpec, Dict[str, Any]]) -> PipelineResult:
     if not isinstance(spec, PipelineSpec):
         raise SpecError(f"expected a PipelineSpec or dict, got {type(spec).__name__}")
     return Pipeline.from_spec(spec).execute()
+
+
+def resume_pipeline(root: str) -> PipelineResult:
+    """Continue a crashed (or finished) checkpointed pipeline run.
+
+    ``root`` is the checkpoint directory a previous execution wrote:
+    ``pipeline.json`` (the serialized spec), ``step-NNNNNN`` snapshots,
+    and — for stream sources — the persistent ``spill/`` shards, which
+    are reused so resume never re-partitions.  The continued run is
+    bit-identical to an uninterrupted one; resuming a run that already
+    finished replays nothing and reproduces the recorded result.
+    """
+    spec_path = os.path.join(root, PIPELINE_SPEC_FILENAME)
+    if not os.path.isfile(spec_path):
+        raise SpecError(
+            f"{root!r} is not a resumable pipeline checkpoint (no "
+            f"{PIPELINE_SPEC_FILENAME}); engine-level checkpoints resume via "
+            "BSPEngine.run(..., resume_from=...)"
+        )
+    with open(spec_path, "r", encoding="utf-8") as fh:
+        spec = PipelineSpec.from_json(fh.read())
+    if spec.app is None:
+        raise SpecError(f"{spec_path} configures no app stage; nothing to resume")
+    pipe = Pipeline.from_spec(spec)
+    # The root may have been renamed/relocated since the spec was
+    # written; the directory being resumed always wins.
+    ckpt = dict(spec.checkpoint) if spec.checkpoint is not None else {"every": 1, "keep": 2}
+    ckpt["dir"] = root
+    pipe._checkpoint = ckpt
+    return pipe.execute(resume_from=root)

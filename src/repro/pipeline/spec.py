@@ -71,6 +71,50 @@ def _canonical_source(value: Any) -> tuple:
     )
 
 
+#: checkpoint-config keys and their (default, validator) pairs.
+_CHECKPOINT_DEFAULTS = {"every": 1, "keep": 2}
+
+
+def _canonical_checkpoint(value: Any) -> Optional[Dict[str, Any]]:
+    """Validate/normalize the ``checkpoint`` entry.
+
+    Accepts ``None``, a bare directory string, or a dict with ``dir``
+    (required) plus optional ``every``/``keep``; always returns the
+    fully-populated dict form so ``to_dict`` round-trips byte-stably.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = {"dir": value}
+    if not isinstance(value, dict):
+        raise SpecError(
+            f"'checkpoint' must be null, a directory string, or an options "
+            f"dict, got {type(value).__name__}"
+        )
+    unknown = sorted(set(value) - ({"dir"} | set(_CHECKPOINT_DEFAULTS)))
+    if unknown:
+        raise SpecError(
+            f"unknown checkpoint keys {unknown}; expected a subset of "
+            f"['dir', 'every', 'keep']"
+        )
+    directory = value.get("dir")
+    if not isinstance(directory, str) or not directory:
+        raise SpecError("'checkpoint' requires a non-empty 'dir' string")
+    normalized: Dict[str, Any] = {"dir": directory}
+    for key, default in _CHECKPOINT_DEFAULTS.items():
+        item = value.get(key, default)
+        if key == "keep" and item is None:
+            normalized[key] = None  # retain every snapshot
+            continue
+        if isinstance(item, bool) or not isinstance(item, int) or item < 1:
+            raise SpecError(
+                f"checkpoint {key!r} must be an integer >= 1"
+                f"{' or null (keep all)' if key == 'keep' else ''}, got {item!r}"
+            )
+        normalized[key] = item
+    return normalized
+
+
 def _check_stream_partitioner(partition_spec: str) -> None:
     """Eagerly reject stream sources with non-streaming partitioners."""
     name, kwargs = parse_spec(partition_spec)
@@ -128,6 +172,15 @@ class PipelineSpec:
         only — results are identical across all of them.
     cost_model:
         Optional :class:`~repro.bsp.CostModel` overrides by field name.
+    checkpoint:
+        Optional superstep-granular checkpointing of the BSP run (see
+        :mod:`repro.checkpoint`): a directory string or a dict with
+        ``dir`` (required), ``every`` (snapshot cadence in supersteps,
+        default 1) and ``keep`` (snapshots retained, default 2).  The
+        executed pipeline writes its own spec to ``<dir>/pipeline.json``
+        so ``repro resume <dir>`` can rebuild and continue the run; a
+        stream source spills its shards under ``<dir>/spill`` and resume
+        reuses them, skipping the re-partition entirely.
     """
 
     source: str
@@ -138,6 +191,7 @@ class PipelineSpec:
     app: Optional[str] = None
     backend: str = "serial"
     cost_model: Optional[Dict[str, float]] = None
+    checkpoint: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.source, self._source_is_stream = _canonical_source(self.source)
@@ -160,6 +214,7 @@ class PipelineSpec:
         if self.app is not None:
             self.app = _canonical_component(self.app, APPS, "app")
         self.backend = _canonical_component(self.backend, BACKENDS, "backend")
+        self.checkpoint = _canonical_checkpoint(self.checkpoint)
         if self.cost_model is not None:
             if not isinstance(self.cost_model, dict):
                 raise SpecError("'cost_model' must be a dict of CostModel fields")
@@ -212,6 +267,7 @@ class PipelineSpec:
             "app": self.app,
             "backend": self.backend,
             "cost_model": None if self.cost_model is None else dict(self.cost_model),
+            "checkpoint": None if self.checkpoint is None else dict(self.checkpoint),
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -21,6 +21,14 @@ The correctness contract for ``compute_stage`` is: after it returns,
 every worker, and the returned array holds each worker's work units.
 Backends must produce *bit-identical* state to the serial reference —
 parallelism may only change wall-clock time, never results.
+
+The in-place-mutation requirement on :attr:`BackendSession.state` also
+carries checkpoint *restore* for free: resuming a run
+(:mod:`repro.checkpoint`) copies snapshot arrays into the session's
+arrays through the engine-side views before the first compute stage,
+and every backend's workers — including the process backend's children,
+which map the same shared-memory blocks — observe the restored values
+exactly as they observe exchange-stage writes.
 """
 
 from __future__ import annotations
@@ -76,11 +84,14 @@ class BackendSession(abc.ABC):
     state: WorkerState
 
     @abc.abstractmethod
-    def compute_stage(self) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> np.ndarray:
         """Run one computation stage on every worker; return work units.
 
-        Blocks until all workers finish (the first half of the BSP
-        barrier — the engine's exchange stage is the second half).
+        ``superstep`` is the 0-based index of the superstep being
+        computed; backends must deliver it to every worker's
+        :func:`~repro.runtime.worker.superstep_compute` call.  Blocks
+        until all workers finish (the first half of the BSP barrier —
+        the engine's exchange stage is the second half).
         """
 
     def close(self) -> None:

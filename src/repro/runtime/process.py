@@ -57,7 +57,7 @@ def _worker_main(conn) -> None:
             arrays[kind] = arr
         conn.send(("ready", None))
         while True:
-            cmd, _ = conn.recv()
+            cmd, payload = conn.recv()
             if cmd == "stop":
                 break
             if cmd != "compute":  # pragma: no cover - protocol guard
@@ -71,6 +71,7 @@ def _worker_main(conn) -> None:
                     arrays.get("active"),
                     arrays["changed"],
                     arrays.get("partials"),
+                    int(payload),
                 )
             except BaseException:
                 conn.send(("error", traceback.format_exc()))
@@ -187,14 +188,14 @@ class _ProcessSession(BackendSession):
             raise BackendError(f"worker {w}: expected {expected!r}, got {status!r}")
         return payload
 
-    def compute_stage(self) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> np.ndarray:
         if not self._finalizer.alive:
             raise BackendError("session is closed")
         p = len(self._conns)
         work = np.zeros(p)
         for conn in self._conns:
             try:
-                conn.send(("compute", None))
+                conn.send(("compute", superstep))
             except (BrokenPipeError, OSError) as exc:
                 raise BackendError(f"worker pool is down: {exc}") from exc
         for w in range(p):

@@ -26,7 +26,7 @@ class _SerialSession(BackendSession):
         self._program = program
         self.state = allocate_state(dgraph, program)
 
-    def compute_stage(self) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> np.ndarray:
         state = self.state
         accumulate = self._program.mode == ACCUMULATE
         work = np.zeros(self._dgraph.num_workers)
@@ -38,6 +38,7 @@ class _SerialSession(BackendSession):
                 None if accumulate else state.active[w],
                 state.changed[w],
                 state.partials[w] if accumulate else None,
+                superstep,
             )
         return work
 

@@ -14,6 +14,12 @@ Thin, careful wrappers over :mod:`multiprocessing.shared_memory`:
 Cleanup is belt-and-braces: :func:`destroy_shared_array` swallows
 "already gone" errors so session teardown is idempotent even after a
 worker crash.
+
+Because parent and children map the *same* blocks, a checkpoint
+restore (:func:`repro.checkpoint.restore_state`) needs no shm-specific
+code: the engine copies snapshot arrays through the parent's views and
+every child observes the restored state exactly as it observes the
+parent's replica-exchange writes.
 """
 
 from __future__ import annotations

@@ -41,7 +41,7 @@ class _ThreadSession(BackendSession):
             max_workers=max(1, pool_size), thread_name_prefix="repro-bsp"
         )
 
-    def _compute_one(self, w: int) -> float:
+    def _compute_one(self, w: int, superstep: int) -> float:
         state = self.state
         accumulate = self._program.mode == ACCUMULATE
         return superstep_compute(
@@ -51,11 +51,14 @@ class _ThreadSession(BackendSession):
             None if accumulate else state.active[w],
             state.changed[w],
             state.partials[w] if accumulate else None,
+            superstep,
         )
 
-    def compute_stage(self) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> np.ndarray:
         p = self._dgraph.num_workers
-        futures = [self._pool.submit(self._compute_one, w) for w in range(p)]
+        futures = [
+            self._pool.submit(self._compute_one, w, superstep) for w in range(p)
+        ]
         # future.result() re-raises worker exceptions in submission order.
         return np.array([f.result() for f in futures])
 

@@ -29,6 +29,7 @@ def superstep_compute(
     active: Optional[np.ndarray],
     changed: np.ndarray,
     partials: Optional[np.ndarray],
+    superstep: int = 0,
 ) -> float:
     """Run one worker's computation stage in place; return work units.
 
@@ -36,15 +37,21 @@ def superstep_compute(
     ``active`` (the engine's activation rule); accumulate mode fills
     ``partials`` and leaves ``values`` untouched.  ``changed`` always
     receives the program's change/send mask.
+
+    ``superstep`` is the 0-based index of the superstep being computed.
+    It is part of the compute contract (not hidden program state) so
+    that superstep-dependent accounting — e.g. CC charging its one-time
+    union-find pass — stays deterministic under checkpoint/resume,
+    where programs are re-instantiated mid-run.
     """
     if program.mode == ACCUMULATE:
-        res = program.compute(local, values, None)
+        res = program.compute(local, values, None, superstep)
         changed[:] = res.changed
         partials[:] = res.partials
         return float(res.work_units)
 
     if active.any():
-        res = program.compute(local, values, active)
+        res = program.compute(local, values, active, superstep)
         changed[:] = res.changed
         work = float(res.work_units)
     else:

@@ -50,6 +50,21 @@ def _shard_name(part: int) -> str:
     return f"shard_{part:05d}.bin"
 
 
+def _is_spill_artifact(name: str) -> bool:
+    """Whether a directory entry belongs to a spilled partition.
+
+    The single definition used both to clear stale artifacts before a
+    spill and to remove partial ones after a failed spill — the two
+    sweeps must never disagree about what a spill owns.
+    """
+    return (
+        name == _MANIFEST
+        or name.startswith(_MANIFEST + ".tmp-")
+        or name == _EDGE_PARTS
+        or (name.startswith("shard_") and name.endswith(".bin"))
+    )
+
+
 def _shard_weights_name(part: int) -> str:
     return f"shard_{part:05d}.w.bin"
 
@@ -157,6 +172,7 @@ def stream_partition(
     """
     if num_parts < 1:
         raise StreamError("num_parts must be >= 1")
+    created_dir = not os.path.isdir(spill_dir)
     os.makedirs(spill_dir, exist_ok=True)
     manifest_path = os.path.join(spill_dir, _MANIFEST)
     if os.path.exists(manifest_path) and not overwrite:
@@ -168,9 +184,7 @@ def stream_partition(
     # behind: a part that receives no edges this run would otherwise
     # leave its old shard file in place and corrupt the new assembly.
     for name in os.listdir(spill_dir):
-        if name == _MANIFEST or name == _EDGE_PARTS or (
-            name.startswith("shard_") and name.endswith(".bin")
-        ):
+        if _is_spill_artifact(name):
             os.remove(os.path.join(spill_dir, name))
 
     assigner, sketch, sketch_done = _resolve_assigner(stream, partitioner, num_parts)
@@ -180,41 +194,49 @@ def stream_partition(
     weighted: Optional[bool] = None
     next_edge_id = 0
     try:
-        parts_file = open(os.path.join(spill_dir, _EDGE_PARTS), "wb")
         try:
-            for src, dst, w in windows(stream.chunks(), assigner.window):
-                if not sketch_done:
-                    sketch.update(src, dst)
-                if weighted is None:
-                    weighted = w is not None
-                parts = assigner.assign(src, dst)
-                parts.tofile(parts_file)
-                eids = np.arange(
-                    next_edge_id, next_edge_id + src.shape[0], dtype=np.int64
-                )
-                next_edge_id += src.shape[0]
-                for i in np.unique(parts).tolist():
-                    sel = parts == i
-                    if i not in shard_files:
-                        shard_files[i] = open(
-                            os.path.join(spill_dir, _shard_name(i)), "wb"
-                        )
-                        if w is not None:
-                            weight_files[i] = open(
-                                os.path.join(spill_dir, _shard_weights_name(i)), "wb"
+            parts_file = open(os.path.join(spill_dir, _EDGE_PARTS), "wb")
+            try:
+                for src, dst, w in windows(stream.chunks(), assigner.window):
+                    if not sketch_done:
+                        sketch.update(src, dst)
+                    if weighted is None:
+                        weighted = w is not None
+                    parts = assigner.assign(src, dst)
+                    parts.tofile(parts_file)
+                    eids = np.arange(
+                        next_edge_id, next_edge_id + src.shape[0], dtype=np.int64
+                    )
+                    next_edge_id += src.shape[0]
+                    for i in np.unique(parts).tolist():
+                        sel = parts == i
+                        if i not in shard_files:
+                            shard_files[i] = open(
+                                os.path.join(spill_dir, _shard_name(i)), "wb"
                             )
-                    rows = np.stack([eids[sel], src[sel], dst[sel]], axis=1)
-                    rows.tofile(shard_files[i])
-                    if w is not None:
-                        np.ascontiguousarray(w[sel]).tofile(weight_files[i])
-                edge_counts += np.bincount(parts, minlength=num_parts)
+                            if w is not None:
+                                weight_files[i] = open(
+                                    os.path.join(spill_dir, _shard_weights_name(i)), "wb"
+                                )
+                        rows = np.stack([eids[sel], src[sel], dst[sel]], axis=1)
+                        rows.tofile(shard_files[i])
+                        if w is not None:
+                            np.ascontiguousarray(w[sel]).tofile(weight_files[i])
+                    edge_counts += np.bincount(parts, minlength=num_parts)
+            finally:
+                parts_file.close()
         finally:
-            parts_file.close()
-    finally:
-        for fh in shard_files.values():
-            fh.close()
-        for fh in weight_files.values():
-            fh.close()
+            for fh in shard_files.values():
+                fh.close()
+            for fh in weight_files.values():
+                fh.close()
+    except BaseException:
+        # A failed spill (bad source line, full disk, interrupted run)
+        # must not leave orphan shards behind: without a manifest they
+        # are unreadable, and with one from a *previous* spill they
+        # would silently corrupt the next assembly.
+        _remove_partial_spill(spill_dir, created_dir)
+        raise
 
     num_vertices = max(sketch.num_vertices, stream.num_vertices_hint or 0, 1)
     bytes_spilled = sum(
@@ -242,10 +264,46 @@ def stream_partition(
         ),
         "bytes_spilled": int(bytes_spilled),
     }
-    with open(manifest_path, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    try:
+        # Atomic publish (tmp + fsync + rename): the manifest is what
+        # marks the spill as complete, so it must never exist half
+        # written — checkpointed pipelines reuse the spill across
+        # crashes exactly because this file is trustworthy.
+        tmp_manifest = f"{manifest_path}.tmp-{os.getpid()}"
+        with open(tmp_manifest, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_manifest, manifest_path)
+    except BaseException:
+        _remove_partial_spill(spill_dir, created_dir)
+        raise
     return SpilledPartition(spill_dir)
+
+
+def _remove_partial_spill(spill_dir: str, created_dir: bool) -> None:
+    """Delete the artifacts of a failed spill (best effort, idempotent).
+
+    Removes the shard/weight files, ``edge_parts.bin`` and any manifest
+    from ``spill_dir``; the directory itself is removed only when this
+    run created it and nothing else was placed inside.
+    """
+    try:
+        names = os.listdir(spill_dir)
+    except OSError:
+        return
+    for name in names:
+        if _is_spill_artifact(name):
+            try:
+                os.remove(os.path.join(spill_dir, name))
+            except OSError:
+                pass
+    if created_dir:
+        try:
+            os.rmdir(spill_dir)
+        except OSError:
+            pass
 
 
 class SpilledPartition:

@@ -24,7 +24,7 @@ class SumInDegrees(SubgraphProgram):
     def initial_values(self, local):
         return np.zeros(local.num_vertices)
 
-    def compute(self, local, values, active):
+    def compute(self, local, values, active, superstep=0):
         partials = np.zeros(local.num_vertices)
         if local.dst.size:
             np.add.at(partials, local.dst, 1.0)

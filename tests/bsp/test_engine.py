@@ -68,7 +68,7 @@ class TestMinimizeSemantics:
             def initial_values(self, local):
                 return np.zeros(local.num_vertices)
 
-            def compute(self, local, values, active):
+            def compute(self, local, values, active, superstep=0):
                 raise AssertionError
 
         g, dg = two_worker_path()

@@ -60,7 +60,7 @@ class TestProgramContract:
             def initial_values(self, local):
                 return np.zeros(local.num_vertices)
 
-            def compute(self, local, values, active):
+            def compute(self, local, values, active, superstep=0):
                 return ComputeResult(
                     changed=np.zeros(local.num_vertices, dtype=bool),
                     work_units=0.0,

@@ -1,0 +1,72 @@
+"""Shared fixtures for the crash-injection & resume-equivalence harness.
+
+The central contract under test: a :class:`~repro.bsp.engine.BSPRun`
+resumed from *any* snapshot is **bit-identical** to the golden
+uninterrupted run in every deterministic field — final values,
+superstep count, per-superstep work/message tallies, and the
+cost-model accounting that feeds every paper artifact.  Only real
+wall-clock (``real_seconds``) may differ: the pre-crash supersteps of a
+resumed run keep the walls measured before the crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import build_distributed_graph
+from repro.graph import powerlaw_graph
+from repro.partition import EBVPartitioner
+
+#: every deterministic per-superstep field of a SuperstepStats record.
+DETERMINISTIC_STEP_FIELDS = ("work", "sent", "received", "comp_seconds", "comm_seconds")
+
+PARTS = (2, 4)
+
+
+def _assert_runs_identical(got, want):
+    """Bit-identity over every deterministic field of two BSPRuns."""
+    assert got.program == want.program
+    assert got.partition_method == want.partition_method
+    assert got.graph_name == want.graph_name
+    assert got.num_workers == want.num_workers
+    assert got.num_supersteps == want.num_supersteps
+    assert got.values.shape == want.values.shape
+    assert got.values.dtype == want.values.dtype
+    # Identical, not merely close: the resumed run replays the same
+    # kernels over the same restored arrays in the same order.
+    assert np.array_equal(got.values, want.values, equal_nan=True)
+    assert got.total_messages == want.total_messages
+    assert got.comp == want.comp
+    assert got.comm == want.comm
+    assert got.delta_c == want.delta_c
+    assert got.execution_time == want.execution_time
+    assert got.message_max_mean_ratio == want.message_max_mean_ratio
+    for step, (g_s, w_s) in enumerate(zip(got.supersteps, want.supersteps)):
+        for fieldname in DETERMINISTIC_STEP_FIELDS:
+            assert np.array_equal(
+                getattr(g_s, fieldname), getattr(w_s, fieldname)
+            ), f"superstep {step} field {fieldname!r} diverged"
+
+
+@pytest.fixture(scope="session")
+def assert_runs_identical():
+    return _assert_runs_identical
+
+
+@pytest.fixture(scope="session")
+def ckpt_graph():
+    """Seeded ~220-vertex power-law graph shared by the whole harness.
+
+    The seed is chosen so every minimize-mode app needs >= 2 supersteps
+    at both worker counts — otherwise a crash point strictly before the
+    last boundary would not exist.
+    """
+    return powerlaw_graph(220, eta=2.2, min_degree=2, seed=17, name="ckpt-pl")
+
+
+@pytest.fixture(scope="session")
+def ckpt_dgraphs(ckpt_graph):
+    """One routed distributed graph per worker count."""
+    return {
+        p: build_distributed_graph(EBVPartitioner().partition(ckpt_graph, p))
+        for p in PARTS
+    }

@@ -1,0 +1,61 @@
+"""``repro resume`` CLI verb: happy path, JSON identity, clear errors."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    ckpt = tmp_path / "ck"
+    spec = {
+        "source": "powerlaw?vertices=300,seed=17",
+        "partition": "ebv",
+        "parts": 2,
+        "app": "pr?pagerank_iters=5",
+        "checkpoint": {"dir": str(ckpt), "every": 2},
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path), str(ckpt)
+
+
+def test_resume_reproduces_the_pipeline_json(spec_file, capsys):
+    spec_path, ckpt = spec_file
+    assert main(["pipeline", spec_path, "--json"]) == 0
+    golden = json.loads(capsys.readouterr().out)
+    assert main(["resume", ckpt, "--json"]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    for key in set(golden["run"]) - {"resumed_from"}:
+        assert resumed["run"][key] == golden["run"][key], key
+    assert resumed["run"]["resumed_from"] == golden["run"]["num_supersteps"]
+    assert resumed["partition"] == golden["partition"]
+    assert resumed["graph"] == golden["graph"]
+
+
+def test_resume_human_output_reports_provenance(spec_file, capsys):
+    spec_path, ckpt = spec_file
+    assert main(["pipeline", spec_path]) == 0
+    out = capsys.readouterr().out
+    assert f"checkpoints in {ckpt}" in out
+    assert main(["resume", ckpt]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from superstep" in out
+
+
+def test_resume_missing_directory_fails_cleanly(tmp_path, capsys):
+    assert main(["resume", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_pipeline_rejects_bad_checkpoint_spec(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({
+        "source": "powerlaw?vertices=100",
+        "app": "cc",
+        "checkpoint": {"dir": str(tmp_path / "ck"), "every": 0},
+    }))
+    assert main(["pipeline", str(path)]) == 2
+    assert "checkpoint 'every'" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""The crash matrix: resume from *every* checkpoint boundary, every app.
+
+One checkpointed run per (app, p) with ``checkpoint_every=1`` and
+unlimited retention produces a snapshot at every superstep boundary —
+exactly the state a crash immediately after that boundary would leave
+on disk.  Resuming from each snapshot and asserting bit-identity
+against the golden uninterrupted run therefore covers every possible
+crash point, a strict superset of the k ∈ {1, 2, mid, last} matrix.
+"""
+
+import os
+
+import pytest
+
+from repro.bsp import BSPEngine
+from repro.checkpoint import list_snapshots, load_snapshot
+from repro.pipeline import APPS
+
+PARTS = (2, 4)
+#: the apps of the crash matrix (pagerank capped so the sweep stays fast).
+APP_SPECS = ("cc", "pr?pagerank_iters=10", "sssp", "bfs", "kcore")
+
+
+@pytest.fixture(scope="module")
+def matrix(ckpt_graph, ckpt_dgraphs, tmp_path_factory):
+    """Golden run + every-boundary snapshots per (app, p)."""
+    out = {}
+    for app in APP_SPECS:
+        for p in PARTS:
+            golden = BSPEngine().run(ckpt_dgraphs[p], APPS.create(app, ckpt_graph))
+            root = str(tmp_path_factory.mktemp("crash-matrix"))
+            BSPEngine(
+                checkpoint_dir=root, checkpoint_every=1, checkpoint_keep=None
+            ).run(ckpt_dgraphs[p], APPS.create(app, ckpt_graph))
+            out[(app, p)] = (golden, root)
+    return out
+
+
+@pytest.mark.parametrize("p", PARTS)
+@pytest.mark.parametrize("app", APP_SPECS)
+def test_every_boundary_has_a_snapshot(app, p, matrix):
+    golden, root = matrix[(app, p)]
+    assert golden.num_supersteps >= 2, "graph too easy to exercise resume"
+    boundaries = [
+        int(os.path.basename(s).split("-")[1]) for s in list_snapshots(root)
+    ]
+    assert boundaries == list(range(1, golden.num_supersteps + 1))
+    # The canonical crash points are all present by construction.
+    k = golden.num_supersteps
+    assert {1, 2, max(1, k // 2), k} <= set(boundaries) | {2}
+
+
+@pytest.mark.parametrize("p", PARTS)
+@pytest.mark.parametrize("app", APP_SPECS)
+def test_resume_from_every_boundary_is_bit_identical(
+    app, p, matrix, ckpt_graph, ckpt_dgraphs, assert_runs_identical
+):
+    golden, root = matrix[(app, p)]
+    for snap in list_snapshots(root):
+        resumed = BSPEngine().run(
+            ckpt_dgraphs[p], APPS.create(app, ckpt_graph), resume_from=snap
+        )
+        assert_runs_identical(resumed, golden)
+        assert resumed.resumed_from == load_snapshot(snap).superstep
+
+
+@pytest.mark.parametrize("p", PARTS)
+@pytest.mark.parametrize("app", APP_SPECS)
+def test_resume_from_root_uses_newest_snapshot(
+    app, p, matrix, ckpt_graph, ckpt_dgraphs, assert_runs_identical
+):
+    """Resuming the root (not a specific snapshot) picks the final one."""
+    golden, root = matrix[(app, p)]
+    resumed = BSPEngine().run(
+        ckpt_dgraphs[p], APPS.create(app, ckpt_graph), resume_from=root
+    )
+    assert_runs_identical(resumed, golden)
+    # The newest snapshot is the final (done) one: nothing is replayed.
+    assert resumed.resumed_from == golden.num_supersteps

@@ -1,0 +1,74 @@
+"""Fingerprint unit tests: every parameter shape contributes to identity."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.bsp.program import MINIMIZE, ComputeResult, SubgraphProgram
+from repro.checkpoint import CheckpointError, compute_fingerprint, verify_fingerprint
+from repro.bsp.cost_model import CostModel
+from repro.graph import powerlaw_graph
+from repro.partition import EBVPartitioner
+
+
+class _ParamProgram(SubgraphProgram):
+    """Minimal program carrying every fingerprintable parameter shape."""
+
+    mode = MINIMIZE
+    name = "param-prog"
+
+    def __init__(self, **params):
+        for key, value in params.items():
+            setattr(self, key, value)
+
+    def initial_values(self, local):
+        return np.zeros(local.num_vertices)
+
+    def compute(self, local, values, active, superstep=0):
+        return ComputeResult(
+            changed=np.zeros(local.num_vertices, dtype=bool), work_units=0.0
+        )
+
+
+@pytest.fixture(scope="module")
+def dgraph():
+    g = powerlaw_graph(80, eta=2.2, min_degree=2, seed=5, name="fp")
+    return build_distributed_graph(EBVPartitioner().partition(g, 2))
+
+
+def _fp(dgraph, **params):
+    return compute_fingerprint(dgraph, _ParamProgram(**params), CostModel(), 500)
+
+
+@pytest.mark.parametrize(
+    "a, b",
+    [
+        ({"thresholds": [0.1, 0.2]}, {"thresholds": [0.1, 0.3]}),
+        ({"thresholds": [1, 2]}, {"thresholds": (1, 2)}),  # list vs tuple
+        ({"config": {"k": 1}}, {"config": {"k": 2}}),
+        ({"config": {"k": 1}}, {"config": {"j": 1}}),
+        ({"weights": np.arange(4.0)}, {"weights": np.arange(4.0) + 1}),
+        ({"scale": 1.0}, {"scale": 2.0}),
+        ({"nested": [{"a": [1]}]}, {"nested": [{"a": [2]}]}),
+    ],
+)
+def test_container_params_are_part_of_the_identity(dgraph, a, b):
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        verify_fingerprint(_fp(dgraph, **a), _fp(dgraph, **b))
+
+
+def test_identical_params_match(dgraph):
+    params = {"thresholds": [0.1, 0.2], "config": {"k": 1}, "w": np.arange(3.0)}
+    verify_fingerprint(_fp(dgraph, **params), _fp(dgraph, **params))
+
+
+def test_unfingerprintable_params_are_excluded_not_fatal(dgraph):
+    """Callables/rngs carry no stable identity; they are skipped."""
+    verify_fingerprint(
+        _fp(dgraph, hook=print, rng=np.random.default_rng(1)),
+        _fp(dgraph, hook=len, rng=np.random.default_rng(2)),
+    )
+
+
+def test_private_attributes_never_enter_the_identity(dgraph):
+    verify_fingerprint(_fp(dgraph, _cache=[1, 2]), _fp(dgraph, _cache=[3]))

@@ -1,0 +1,262 @@
+"""Snapshot store unit tests: atomicity, retention, corruption rejection.
+
+Torn writes, bit flips, truncated payloads, hand-edited manifests and
+wrong-format directories must all be *rejected* with a clear
+:class:`~repro.checkpoint.CheckpointError` — a damaged checkpoint is
+never silently resumed (acceptance criterion #4).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bsp.engine import SuperstepStats
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    latest_snapshot_dir,
+    list_snapshots,
+    load_snapshot,
+    write_snapshot,
+)
+
+FINGERPRINT = {"fingerprint_version": 1, "graph": {"name": "t", "edges_crc": 7}}
+META = {
+    "program": "CC",
+    "partition_method": "ebv",
+    "graph_name": "t",
+    "num_workers": 2,
+    "backend": "serial",
+}
+
+
+def _stats(p=2):
+    return SuperstepStats(
+        work=np.array([1.5, 2.5]),
+        sent=np.array([3, 4], dtype=np.int64),
+        received=np.array([4, 3], dtype=np.int64),
+        comp_seconds=np.array([0.1, 0.2]),
+        comm_seconds=np.array([0.01, 0.02]),
+        real_seconds={"compute": 0.5, "exchange": 0.25},
+    )
+
+
+def _arrays():
+    return {
+        "values": [np.array([1.0, 2.0, np.inf]), np.array([4.0])],
+        "changed": [np.array([True, False, True]), np.array([False])],
+        "active": [np.array([False, True, False]), np.array([True])],
+    }
+
+
+def _write(root, superstep=2, done=False, keep=None):
+    return write_snapshot(
+        str(root),
+        superstep=superstep,
+        done=done,
+        fingerprint=FINGERPRINT,
+        meta=META,
+        arrays=_arrays(),
+        supersteps=[_stats() for _ in range(superstep)],
+        keep=keep,
+    )
+
+
+def test_round_trip_is_bit_identical(tmp_path):
+    snap_dir = _write(tmp_path)
+    snap = load_snapshot(snap_dir)
+    assert snap.superstep == 2
+    assert snap.done is False
+    assert snap.fingerprint == FINGERPRINT
+    assert snap.meta == META
+    want = _arrays()
+    assert set(snap.arrays) == set(want)
+    for kind, worker_arrays in want.items():
+        for got, exp in zip(snap.arrays[kind], worker_arrays):
+            assert got.dtype == exp.dtype
+            assert np.array_equal(got, exp)
+    assert len(snap.supersteps) == 2
+    ref = _stats()
+    for s in snap.supersteps:
+        for f in ("work", "sent", "received", "comp_seconds", "comm_seconds"):
+            assert np.array_equal(getattr(s, f), getattr(ref, f))
+        assert s.real_seconds == ref.real_seconds
+
+
+def test_load_from_root_resolves_newest(tmp_path):
+    _write(tmp_path, superstep=1)
+    _write(tmp_path, superstep=3)
+    assert latest_snapshot_dir(str(tmp_path)).endswith("step-000003")
+    assert load_snapshot(str(tmp_path)).superstep == 3
+
+
+def test_stale_staging_dirs_are_ignored_and_collected(tmp_path):
+    (tmp_path / ".tmp-step-000009-123").mkdir()
+    _write(tmp_path, superstep=1)
+    assert load_snapshot(str(tmp_path)).superstep == 1
+    # Staging garbage from a crashed writer is removed by the next write.
+    assert not [d for d in os.listdir(tmp_path) if d.startswith(".tmp-")]
+
+
+def test_keep_prunes_oldest_snapshots(tmp_path):
+    for k in (1, 2, 3, 4):
+        _write(tmp_path, superstep=k, keep=2)
+    names = [os.path.basename(d) for d in list_snapshots(str(tmp_path))]
+    assert names == ["step-000003", "step-000004"]
+
+
+def test_keep_none_retains_everything(tmp_path):
+    for k in (1, 2, 3):
+        _write(tmp_path, superstep=k, keep=None)
+    assert len(list_snapshots(str(tmp_path))) == 3
+
+
+def test_missing_directory_is_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="does not exist"):
+        load_snapshot(str(tmp_path / "nope"))
+
+
+def test_empty_root_is_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint snapshots"):
+        load_snapshot(str(tmp_path))
+
+
+def test_truncated_payload_is_rejected_as_torn(tmp_path):
+    snap_dir = _write(tmp_path)
+    state = os.path.join(snap_dir, "state.npz")
+    with open(state, "r+b") as fh:
+        fh.truncate(os.path.getsize(state) - 7)
+    with pytest.raises(CheckpointError, match="torn"):
+        load_snapshot(snap_dir)
+
+
+def test_flipped_byte_fails_the_checksum(tmp_path):
+    snap_dir = _write(tmp_path)
+    state = os.path.join(snap_dir, "state.npz")
+    raw = bytearray(open(state, "rb").read())
+    raw[len(raw) // 2] ^= 0xFF
+    open(state, "wb").write(bytes(raw))
+    with pytest.raises(CheckpointError, match="[Cc]hecksum"):
+        load_snapshot(snap_dir)
+
+
+def test_missing_payload_is_rejected(tmp_path):
+    snap_dir = _write(tmp_path)
+    os.remove(os.path.join(snap_dir, "supersteps.npz"))
+    with pytest.raises(CheckpointError, match="missing"):
+        load_snapshot(snap_dir)
+
+
+def test_invalid_manifest_json_is_rejected(tmp_path):
+    snap_dir = _write(tmp_path)
+    with open(os.path.join(snap_dir, "manifest.json"), "w") as fh:
+        fh.write('{"format": "repro-checkpoint", ')  # torn mid-write
+    with pytest.raises(CheckpointError, match="corrupted checkpoint manifest"):
+        load_snapshot(snap_dir)
+
+
+def test_foreign_manifest_format_is_rejected(tmp_path):
+    snap_dir = _write(tmp_path)
+    path = os.path.join(snap_dir, "manifest.json")
+    manifest = json.load(open(path))
+    manifest["format"] = "something-else"
+    json.dump(manifest, open(path, "w"))
+    with pytest.raises(CheckpointError, match="not a repro-checkpoint manifest"):
+        load_snapshot(snap_dir)
+
+
+def test_future_version_is_rejected(tmp_path):
+    snap_dir = _write(tmp_path)
+    path = os.path.join(snap_dir, "manifest.json")
+    manifest = json.load(open(path))
+    manifest["version"] = 99
+    json.dump(manifest, open(path, "w"))
+    with pytest.raises(CheckpointError, match="unsupported checkpoint version"):
+        load_snapshot(snap_dir)
+
+
+def test_superstep_count_mismatch_is_rejected(tmp_path):
+    snap_dir = _write(tmp_path, superstep=2)
+    path = os.path.join(snap_dir, "manifest.json")
+    manifest = json.load(open(path))
+    manifest["superstep"] = 5  # claims more progress than it recorded
+    json.dump(manifest, open(path, "w"))
+    with pytest.raises(CheckpointError, match="claims boundary"):
+        load_snapshot(snap_dir)
+
+
+def test_rewriting_a_boundary_replaces_the_snapshot(tmp_path):
+    _write(tmp_path, superstep=2, done=False)
+    _write(tmp_path, superstep=2, done=True)
+    assert len(list_snapshots(str(tmp_path))) == 1
+    assert load_snapshot(str(tmp_path)).done is True
+
+
+def test_writer_validates_configuration(tmp_path):
+    with pytest.raises(CheckpointError, match="checkpoint_every"):
+        CheckpointWriter(str(tmp_path), every=0)
+    with pytest.raises(CheckpointError, match="checkpoint_every"):
+        CheckpointWriter(str(tmp_path), every=True)
+    with pytest.raises(CheckpointError, match="checkpoint_keep"):
+        CheckpointWriter(str(tmp_path), keep=0)
+    with pytest.raises(CheckpointError, match="directory"):
+        CheckpointWriter("")
+    writer = CheckpointWriter(str(tmp_path), every=3)
+    assert [k for k in range(1, 8) if writer.due(k)] == [3, 6]
+
+
+def test_clear_snapshots_removes_everything(tmp_path):
+    from repro.checkpoint import clear_snapshots
+
+    for k in (1, 2):
+        _write(tmp_path, superstep=k)
+    (tmp_path / ".old-step-000001-99").mkdir()
+    assert clear_snapshots(str(tmp_path)) == 2
+    assert list_snapshots(str(tmp_path)) == []
+    assert not any(d.startswith(".old-") for d in os.listdir(tmp_path))
+    assert clear_snapshots(str(tmp_path / "missing")) == 0
+
+
+def test_root_load_falls_back_when_newest_is_damaged(tmp_path):
+    _write(tmp_path, superstep=1)
+    newest = _write(tmp_path, superstep=2)
+    state = os.path.join(newest, "state.npz")
+    with open(state, "r+b") as fh:
+        fh.truncate(os.path.getsize(state) - 3)
+    snap = load_snapshot(str(tmp_path))
+    assert snap.superstep == 1
+    # Explicitly naming the damaged snapshot never falls back.
+    with pytest.raises(CheckpointError, match="torn"):
+        load_snapshot(newest)
+
+
+def test_root_load_reports_every_failure_when_all_damaged(tmp_path):
+    for k in (1, 2):
+        snap_dir = _write(tmp_path, superstep=k)
+        os.remove(os.path.join(snap_dir, "state.npz"))
+    with pytest.raises(CheckpointError, match="every snapshot .* failed"):
+        load_snapshot(str(tmp_path))
+
+
+@pytest.mark.parametrize("missing_key", ["superstep", "done"])
+def test_manifest_missing_required_key_is_checkpoint_error(tmp_path, missing_key):
+    snap_dir = _write(tmp_path)
+    path = os.path.join(snap_dir, "manifest.json")
+    manifest = json.load(open(path))
+    del manifest[missing_key]
+    json.dump(manifest, open(path, "w"))
+    with pytest.raises(CheckpointError, match=f"'{missing_key}'"):
+        load_snapshot(snap_dir)
+
+
+def test_root_load_falls_back_past_a_keyless_manifest(tmp_path):
+    """A junk manifest must not abort the root fallback scan."""
+    _write(tmp_path, superstep=1)
+    newest = _write(tmp_path, superstep=2)
+    path = os.path.join(newest, "manifest.json")
+    manifest = json.load(open(path))
+    del manifest["superstep"]
+    json.dump(manifest, open(path, "w"))
+    assert load_snapshot(str(tmp_path)).superstep == 1

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the golden pipeline result for ``test_golden_pipeline.py``.
+
+Run from the repository root after an *intentional* change to pipeline
+output (new spec fields, new run-summary fields, changed metrics)::
+
+    PYTHONPATH=src python tests/integration/regen_golden.py
+
+then review the diff of ``tests/integration/data/golden_pipeline_result.json``
+— every changed line must be explainable by your change, otherwise you
+just found the drift the golden test exists to catch.
+
+Wall-clock timings are nondeterministic and are stripped from the
+golden (the test strips them from fresh results the same way).
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DATA_DIR = os.path.join(HERE, "data")
+SPEC_PATH = os.path.join(DATA_DIR, "golden_pipeline_spec.json")
+RESULT_PATH = os.path.join(DATA_DIR, "golden_pipeline_result.json")
+
+
+def normalize(result_dict):
+    """Drop the nondeterministic wall-clock timings; keep everything else."""
+    out = dict(result_dict)
+    out.pop("timings", None)
+    return out
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(HERE, "..", "..", "src"))
+    from repro.pipeline import PipelineSpec, run_spec
+
+    with open(SPEC_PATH, "r", encoding="utf-8") as fh:
+        spec = PipelineSpec.from_json(fh.read())
+    result = normalize(run_spec(spec).to_dict())
+    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"golden result regenerated at {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

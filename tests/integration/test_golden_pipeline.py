@@ -1,0 +1,70 @@
+"""Golden end-to-end test: committed spec -> run -> committed result.
+
+The spec JSON and the expected ``PipelineResult.to_dict()`` both live
+under ``tests/integration/data/``; any drift in spec parsing, component
+defaults, graph generation, partition quality, BSP results or the
+result-dict schema shows up as a diff against the golden file.  After
+an *intentional* output change, regenerate with::
+
+    PYTHONPATH=src python tests/integration/regen_golden.py
+
+and review the diff line by line (see the script's docstring).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.pipeline import PipelineSpec, run_spec
+
+from regen_golden import DATA_DIR, RESULT_PATH, SPEC_PATH, normalize
+
+
+@pytest.fixture(scope="module")
+def fresh_result():
+    with open(SPEC_PATH, "r", encoding="utf-8") as fh:
+        spec = PipelineSpec.from_json(fh.read())
+    return normalize(run_spec(spec).to_dict())
+
+
+@pytest.fixture(scope="module")
+def golden_result():
+    assert os.path.isfile(RESULT_PATH), (
+        f"missing golden file {RESULT_PATH}; run "
+        "PYTHONPATH=src python tests/integration/regen_golden.py"
+    )
+    with open(RESULT_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_result_matches_committed_golden(fresh_result, golden_result):
+    # Compare through a JSON round-trip so float representation rules
+    # are identical on both sides; pinpoint the first differing key for
+    # a readable failure.
+    fresh = json.loads(json.dumps(fresh_result, sort_keys=True))
+    assert set(fresh) == set(golden_result), "result-dict schema drifted"
+    for key in sorted(golden_result):
+        assert fresh[key] == golden_result[key], (
+            f"pipeline output drifted at {key!r}; if intentional, regenerate "
+            "the golden (tests/integration/regen_golden.py) and review the diff"
+        )
+
+
+def test_golden_spec_is_canonical():
+    """Every entry of the committed spec is already in canonical form."""
+    with open(SPEC_PATH, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    canonical = PipelineSpec.from_dict(document).to_dict()
+    for key, value in document.items():
+        assert canonical[key] == value, (
+            f"spec entry {key!r} is not canonical; expected {canonical[key]!r}"
+        )
+
+
+def test_data_dir_holds_only_the_golden_pair():
+    """No stray regenerated artifacts get silently committed."""
+    assert sorted(os.listdir(DATA_DIR)) == [
+        "golden_pipeline_result.json",
+        "golden_pipeline_spec.json",
+    ]

@@ -37,7 +37,7 @@ class CrashingProgram(SubgraphProgram):
     def initial_values(self, local):
         return np.zeros(local.num_vertices)
 
-    def compute(self, local, values, active):
+    def compute(self, local, values, active, superstep=0):
         raise RuntimeError("boom in worker")
 
 

@@ -218,3 +218,82 @@ class TestSpilledPartitionLoad:
         )
         with pytest.raises(StreamError, match="out of range"):
             spilled.part_edges(5)
+
+
+class TestPartialSpillCleanup:
+    """A failed spill must not leave orphan shards behind."""
+
+    @staticmethod
+    def _failing_stream(graph, fail_after_chunks=2, chunk_size=16):
+        """Yield a few real chunks, then blow up mid-spill."""
+
+        def chunks():
+            count = 0
+            for start in range(0, graph.num_edges, chunk_size):
+                if count >= fail_after_chunks:
+                    raise OSError("injected source failure mid-spill")
+                stop = min(start + chunk_size, graph.num_edges)
+                yield graph.src[start:stop], graph.dst[start:stop]
+                count += 1
+
+        return GeneratorEdgeStream(chunks, name="failing")
+
+    def test_failing_source_leaves_no_orphan_shards(self, graph, tmp_path):
+        spill = tmp_path / "spill"
+        with pytest.raises(OSError, match="injected source failure"):
+            stream_partition(
+                self._failing_stream(graph),
+                StreamingEBVPartitioner(chunk_size=8),
+                3,
+                str(spill),
+            )
+        # The driver created the directory, so it removes it outright.
+        assert not spill.exists()
+
+    def test_preexisting_directory_is_emptied_but_kept(self, graph, tmp_path):
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        keeper = spill / "unrelated.txt"
+        keeper.write_text("not a shard")
+        with pytest.raises(OSError, match="injected source failure"):
+            stream_partition(
+                self._failing_stream(graph),
+                StreamingEBVPartitioner(chunk_size=8),
+                3,
+                str(spill),
+            )
+        # Unrelated files survive; every spill artifact is gone.
+        assert sorted(os.listdir(spill)) == ["unrelated.txt"]
+
+    def test_failed_spill_dir_is_not_loadable(self, graph, tmp_path):
+        spill = tmp_path / "spill"
+        spill.mkdir()  # preexisting, so the dir itself remains
+        with pytest.raises(OSError, match="injected source failure"):
+            stream_partition(
+                self._failing_stream(graph),
+                StreamingEBVPartitioner(chunk_size=8),
+                2,
+                str(spill),
+            )
+        with pytest.raises(StreamError):
+            SpilledPartition(str(spill))
+
+    def test_successful_spill_after_failure_in_same_dir(self, graph, tmp_path):
+        """A clean retry into the same directory works without --overwrite."""
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        with pytest.raises(OSError, match="injected source failure"):
+            stream_partition(
+                self._failing_stream(graph),
+                StreamingEBVPartitioner(chunk_size=8),
+                2,
+                str(spill),
+            )
+        spilled = stream_partition(
+            ArrayEdgeStream.from_graph(graph, chunk_size=16),
+            StreamingEBVPartitioner(chunk_size=8),
+            2,
+            str(spill),
+        )
+        assert spilled.num_edges == graph.num_edges
+        assert int(spilled.edge_counts.sum()) == graph.num_edges
