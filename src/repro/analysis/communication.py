@@ -17,7 +17,6 @@ runs:
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -8,7 +8,6 @@ vertex-for-vertex.
 from __future__ import annotations
 
 import heapq
-from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,6 @@ inputs carry both directions in the edge array already.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -10,6 +10,8 @@ Commands
 ``pipeline``         execute a full JSON pipeline spec (see below)
 ``resume``           continue a crashed checkpointed pipeline run
 ``experiment``       regenerate one of the paper's tables/figures
+``lint``             run the domain-aware static-analysis pass (exit 1
+                     on any new finding; see :mod:`repro.lint`)
 
 ``stream-partition`` never loads the whole graph: the file is read in
 chunks, assignments stream to per-partition shard files in a spill
@@ -115,7 +117,7 @@ def _registry_arg(registry):
             name, _ = parse_spec(value)
             registry.canonical(name)
         except RegistryError as exc:
-            raise argparse.ArgumentTypeError(str(exc))
+            raise argparse.ArgumentTypeError(str(exc)) from exc
         return value
 
     validate.__name__ = f"{registry.kind}-spec"
@@ -253,6 +255,58 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("name", choices=registries.EXPERIMENTS.names())
     exp.add_argument("--scale", type=float, default=None)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-aware static-analysis pass over src/repro",
+    )
+    lint.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="file or directory to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable JSON report"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of accepted findings (default: ./lint-baseline.json "
+        "when present)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record every current non-suppressed finding into the baseline "
+        "file and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the per-file result cache "
+        "(.repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="cache file location (default: ./.repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list baselined and suppressed findings",
+    )
     return parser
 
 
@@ -482,6 +536,53 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .lint import RULES, Baseline, render_json, render_text, run_lint
+    from .pipeline.registry import UnknownComponentError
+
+    if args.list_rules:
+        for name, description in RULES.describe():
+            print(f"{name:24s} {description}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        try:
+            for rule_id in rule_ids:
+                RULES.canonical(rule_id)
+        except UnknownComponentError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path("lint-baseline.json")
+    baseline = Baseline()
+    if not args.write_baseline and baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+
+    cache_path = None if args.no_cache else Path(args.cache or ".repro-lint-cache.json")
+    root = Path(args.root) if args.root else None
+    report = run_lint(
+        root,
+        rule_ids=rule_ids,
+        baseline=baseline,
+        cache_path=cache_path,
+        use_cache=not args.no_cache,
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(report.all_nonsuppressed()).save(baseline_path)
+        print(
+            f"wrote {len(report.all_nonsuppressed())} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    print(render_json(report) if args.json else render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -494,6 +595,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pipeline": _cmd_pipeline,
         "resume": _cmd_resume,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -11,7 +11,7 @@ and CC runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..analysis import (
     MessageStats,

@@ -15,7 +15,6 @@ machinery like METIS does.
 from __future__ import annotations
 
 from collections import deque
-from typing import List
 
 import numpy as np
 

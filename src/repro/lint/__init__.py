@@ -1,0 +1,39 @@
+"""repro.lint — domain-aware static analysis for this repository.
+
+Generic linters check style; this package checks the *contracts the
+reproduction depends on*: programs are stateless across supersteps
+(checkpoint bit-identity), hot paths are deterministic (seeded RNG, no
+wall-clock, no unordered-set iteration), runtime workers are pure
+(spawn-safe, RPC-ready), registry spec literals match live factory
+signatures, and nothing unpicklable or leaky crosses a process
+boundary.
+
+Entry points: ``repro lint`` / ``python -m repro lint`` (CLI), or
+:func:`run_lint` in-process.  Rules are registered in :data:`RULES`
+(a :class:`~repro.pipeline.registry.Registry`); see
+:mod:`repro.lint.base` for the three-step recipe for adding one.
+"""
+
+from .base import RULES, LintRule, ModuleContext, lint_rule
+from .baseline import Baseline
+from .engine import LintReport, default_root, iter_python_files, run_lint
+from .findings import ERROR, WARNING, Finding
+from .reporters import render_json, render_text
+from . import rules as _rules  # noqa: F401 - rule registration side effect
+
+__all__ = [
+    "Baseline",
+    "ERROR",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "RULES",
+    "WARNING",
+    "default_root",
+    "iter_python_files",
+    "lint_rule",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

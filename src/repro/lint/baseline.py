@@ -1,0 +1,98 @@
+"""The committed lint baseline: known findings that do not fail CI.
+
+A baseline lets the linter gate *new* violations at exit-code level
+even while old ones are still being paid down.  Entries are keyed by
+the line-independent :meth:`~repro.lint.findings.Finding.key` with a
+count per key, so findings survive unrelated edits that move lines but
+a *second* occurrence of a baselined pattern still fails.
+
+The committed policy for this repository is a **zero-finding
+baseline**: ``lint-baseline.json`` at the repo root is empty, every
+historical finding having been fixed or explicitly suppressed inline.
+The machinery stays because later PRs adding stricter rules can land
+them baseline-first and ratchet down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding keys, loadable from JSON."""
+
+    def __init__(self, counts: Dict[Tuple[str, str, str], int] = None):
+        self._counts: Dict[Tuple[str, str, str], int] = dict(counts or {})
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported lint baseline version {data.get('version')!r} "
+                f"in {path} (this build reads version {BASELINE_VERSION})"
+            )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in data.get("findings", []):
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            counts[finding.key()] = counts.get(finding.key(), 0) + 1
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(self._counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def partition(self, findings: Iterable[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split ``findings`` into (new, baseline-carried).
+
+        Each baseline entry absorbs at most ``count`` findings with its
+        key; everything beyond that — including the N+1st occurrence of
+        a baselined pattern — is new.
+        """
+        budget = dict(self._counts)
+        new: List[Finding] = []
+        carried: List[Finding] = []
+        for finding in findings:
+            key = finding.key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                carried.append(finding)
+            else:
+                new.append(finding)
+        return new, carried
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())

@@ -1,0 +1,20 @@
+"""The shipped domain rules.
+
+Importing this package registers every rule in
+:data:`repro.lint.base.RULES` (registration is a decorator side
+effect, mirroring how partitioners land in PARTITIONERS).
+"""
+
+from .conformance import RegistrySpecRule
+from .determinism import DeterminismRule
+from .process_safety import ProcessSafetyRule
+from .purity import WorkerPurityRule
+from .statelessness import ProgramStatelessnessRule
+
+__all__ = [
+    "DeterminismRule",
+    "ProcessSafetyRule",
+    "ProgramStatelessnessRule",
+    "RegistrySpecRule",
+    "WorkerPurityRule",
+]

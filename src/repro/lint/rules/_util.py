@@ -1,0 +1,52 @@
+"""Small AST helpers shared by the concrete rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+__all__ = ["attr_chain", "base_names", "decorator_names", "receiver_name"]
+
+
+def attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name-rooted chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def base_names(cls: ast.ClassDef) -> List[str]:
+    """Last component of every base class expression (``x.Base`` -> ``Base``)."""
+    names: List[str] = []
+    for base in cls.bases:
+        chain = attr_chain(base)
+        if chain:
+            names.append(chain[-1])
+    return names
+
+
+def decorator_names(fn: ast.AST) -> List[str]:
+    """Last component of each decorator (``@abc.abstractmethod`` -> ``abstractmethod``)."""
+    names: List[str] = []
+    for deco in getattr(fn, "decorator_list", []):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        chain = attr_chain(target)
+        if chain:
+            names.append(chain[-1])
+    return names
+
+
+def receiver_name(fn: ast.FunctionDef) -> Optional[str]:
+    """The instance/class argument name of a method (usually ``self``).
+
+    ``None`` for static methods and argument-less functions.
+    """
+    if "staticmethod" in decorator_names(fn):
+        return None
+    args = fn.args.posonlyargs + fn.args.args
+    return args[0].arg if args else None

@@ -1,0 +1,217 @@
+"""registry-spec: ``"name?key=val"`` specs must never fail at runtime.
+
+The spec grammar is the repo's universal addressing scheme — CLI flags,
+JSON pipelines, checkpoint manifests and tests all reference components
+as ``"name?key=val"`` strings.  The grammar is validated at parse time,
+but the *kwargs* are only validated when the factory is finally called,
+which may be deep inside a long run.  This rule moves that failure to
+lint time, against the **live registries** (it imports
+:mod:`repro.pipeline.registries`, so it can never drift from what
+actually exists):
+
+* every spec-looking string literal whose name resolves in a registry
+  has its ``key=val`` options checked against the factory's signature
+  (unknown keyword -> finding);
+* a spec-looking literal whose name resolves in *no* registry is
+  flagged as an unknown component (likely a typo);
+* when the file under lint is ``pipeline/registries.py`` itself, every
+  registered factory is audited: abstract classes cannot be registered,
+  and kwargs-only families (partitioners, backends) must be
+  instantiable from a bare name — every constructor parameter needs a
+  default.
+
+APPS factories funnel through ``make_program(app, graph, **kw)``, so
+their specs are validated against ``make_program``'s signature — the
+same domain knowledge the builder and CLI rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..base import LintRule, ModuleContext, lint_rule
+from ..findings import Finding
+from ...pipeline.registry import RegistryError, parse_spec
+
+__all__ = ["RegistrySpecRule"]
+
+#: a plausible spec literal: name?key=val[,key=val...] over the spec
+#: grammar's character set.  Anything with spaces, slashes or colons is
+#: some other kind of string and is ignored.
+_SPEC_LIKE = re.compile(r"^[a-z0-9_\-]+\?[a-z0-9_]+=[^,\s]*(,[a-z0-9_]+=[^,\s]*)*$", re.I)
+
+#: registry families whose factories take kwargs only — a bare "name"
+#: spec must be constructible, so every parameter needs a default.
+_KWARGS_ONLY = ("partitioner", "backend")
+
+
+def _load_registries():
+    """The live registries plus per-family signature resolvers.
+
+    Imported lazily so the lint engine stays importable even if the
+    component packages are mid-refactor; an import failure is reported
+    as a finding by the caller instead of crashing the run.
+    """
+    from ...frameworks.base import make_program
+    from ...pipeline import registries
+
+    def app_signature(name: str):
+        return inspect.signature(make_program)
+
+    def factory_signature_for(registry):
+        def resolve(name: str):
+            return inspect.signature(registry.get(name))
+
+        return resolve
+
+    families = {}
+    for attr in ("PARTITIONERS", "APPS", "GENERATORS", "STREAMS", "BACKENDS"):
+        registry = getattr(registries, attr)
+        resolver = app_signature if attr == "APPS" else factory_signature_for(registry)
+        families[attr] = (registry, resolver)
+    return families
+
+
+def _spec_kwargs_rejected(signature: inspect.Signature, kwargs: Dict) -> List[str]:
+    """Option names the signature cannot accept (empty = conformant)."""
+    params = signature.parameters
+    if any(p.kind == inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return []
+    acceptable = {
+        name
+        for name, p in params.items()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    return sorted(set(kwargs) - acceptable)
+
+
+def _docstring_nodes(tree: ast.Module) -> Set[int]:
+    """ids of Constant nodes that are docstrings (skipped by the scan)."""
+    nodes: Set[int] = set()
+    for scope in ast.walk(tree):
+        if isinstance(scope, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = getattr(scope, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+@lint_rule
+class RegistrySpecRule(LintRule):
+    """Spec literals conform to live registry signatures; registries stay sound."""
+
+    id = "registry-spec"
+
+    def __init__(self):
+        self._families = None
+        self._import_error: Optional[str] = None
+        try:
+            self._families = _load_registries()
+        except Exception as exc:  # registry packages unimportable
+            self._import_error = f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if self._families is None:
+            if ctx.rel.endswith("registries.py"):
+                yield self.finding(
+                    ctx,
+                    ctx.tree,
+                    "cannot import repro.pipeline.registries to validate specs: "
+                    f"{self._import_error}",
+                )
+            return
+        docstrings = _docstring_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+                and _SPEC_LIKE.match(node.value)
+            ):
+                yield from self._check_literal(ctx, node, node.value)
+        if ctx.rel.endswith("pipeline/registries.py"):
+            yield from self._audit_registries(ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_literal(self, ctx, node, text: str) -> Iterable[Finding]:
+        try:
+            name, kwargs = parse_spec(text)
+        except RegistryError:
+            return
+        holders: List[Tuple[str, object, object]] = [
+            (attr, registry, resolver)
+            for attr, (registry, resolver) in self._families.items()
+            if name in registry
+        ]
+        if not holders:
+            yield self.finding(
+                ctx,
+                node,
+                f"spec literal {text!r} names unknown component {name!r} "
+                "(no PARTITIONERS/APPS/GENERATORS/STREAMS/BACKENDS entry answers "
+                "to it — typo?)",
+            )
+            return
+        rejections = []
+        for attr, registry, resolver in holders:
+            try:
+                signature = resolver(name)
+            except (TypeError, ValueError):  # C-level or unintrospectable
+                return
+            rejected = _spec_kwargs_rejected(signature, kwargs)
+            if not rejected:
+                return  # accepted by at least one family
+            rejections.append((attr, rejected))
+        attr, rejected = rejections[0]
+        yield self.finding(
+            ctx,
+            node,
+            f"spec literal {text!r} passes option(s) {', '.join(rejected)} that "
+            f"the {attr} factory for {name!r} does not accept; this spec would "
+            "fail at runtime",
+        )
+
+    def _audit_registries(self, ctx) -> Iterable[Finding]:
+        for attr, (registry, resolver) in self._families.items():
+            for name, factory in registry.items():
+                if inspect.isclass(factory) and inspect.isabstract(factory):
+                    yield self.finding(
+                        ctx,
+                        ctx.tree,
+                        f"{attr} entry {name!r} registers abstract class "
+                        f"{factory.__name__}; abstract methods must be "
+                        "implemented before registration",
+                    )
+                    continue
+                if registry.kind not in _KWARGS_ONLY:
+                    continue
+                try:
+                    signature = resolver(name)
+                except (TypeError, ValueError):
+                    continue
+                required = [
+                    p.name
+                    for p in signature.parameters.values()
+                    if p.default is inspect.Parameter.empty
+                    and p.kind
+                    in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+                ]
+                if required:
+                    yield self.finding(
+                        ctx,
+                        ctx.tree,
+                        f"{attr} entry {name!r} has required constructor "
+                        f"parameter(s) {', '.join(required)} without defaults; "
+                        f"the bare spec {name!r} would fail at runtime",
+                    )

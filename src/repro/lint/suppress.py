@@ -1,0 +1,56 @@
+"""Inline suppression comments: ``# repro: lint-ignore[rule-id]``.
+
+A suppression covers findings of the named rule(s) on its own line, or
+— when the comment is the only thing on its line — on the next
+non-blank line, so both styles work::
+
+    for w in {a, b}:  # repro: lint-ignore[determinism]
+        ...
+
+    # repro: lint-ignore[determinism,process-safety]
+    for w in {a, b}:
+        ...
+
+Rule ids are required and comma-separated; there is deliberately no
+bare blanket form — every suppression names what it silences, so a
+``grep lint-ignore`` audit reads as a list of accepted exceptions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from .findings import Finding
+
+__all__ = ["collect_suppressions", "is_suppressed"]
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_,\- ]+)\]")
+
+
+def collect_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there."""
+    suppressed: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        match = _IGNORE_RE.search(line)
+        ids: Set[str] = set()
+        if match:
+            ids = {part.strip().lower() for part in match.group(1).split(",") if part.strip()}
+        if pending and stripped:
+            # A comment-only suppression covers the next non-blank line.
+            suppressed.setdefault(i, set()).update(pending)
+            pending = set()
+        if not ids:
+            continue
+        if stripped.startswith("#"):
+            pending |= ids
+        else:
+            suppressed.setdefault(i, set()).update(ids)
+    return suppressed
+
+
+def is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    """Whether ``finding`` is silenced by an inline comment."""
+    return finding.rule in suppressions.get(finding.line, set())

@@ -24,7 +24,7 @@ This implementation follows the classic multilevel recipe:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .base import EDGE_CUT, VERTEX_CUT, PartitionResult
+from .base import VERTEX_CUT, PartitionResult
 
 __all__ = [
     "edge_imbalance_factor",

@@ -54,7 +54,10 @@ def _refine_edge_parts(
     for e in range(m):
         a = int(edge_parts[e])
         ecount[a] += 1
-        for w in {int(src[e]), int(dst[e])}:
+        u0, v0 = int(src[e]), int(dst[e])
+        # Dedupe self-loop endpoints without a set: iteration order must
+        # not depend on hash order.
+        for w in (u0,) if u0 == v0 else (u0, v0):
             c = incident.get((w, a), 0)
             if c == 0:
                 vcount[a] += 1

@@ -101,6 +101,8 @@ def create_backend(name: str, **kwargs) -> Backend:
     that holds a bare name (e.g. ``BSPEngine(backend="process")``).
     """
     try:
+        # BACKEND_TYPES is a read-only registry frozen at import time, not
+        # shared worker state.  # repro: lint-ignore[worker-purity]
         cls = BACKEND_TYPES[name.strip().lower()]
     except (KeyError, AttributeError):
         raise ValueError(

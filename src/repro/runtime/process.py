@@ -23,12 +23,15 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 import weakref
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from multiprocessing.shared_memory import SharedMemory
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..bsp.distributed import DistributedGraph, LocalSubgraph
-from ..bsp.program import ACCUMULATE, SubgraphProgram
+from ..bsp.distributed import DistributedGraph
+from ..bsp.program import SubgraphProgram
 from .base import Backend, BackendError, BackendSession, WorkerState, allocate_state
 from .shm import SharedArraySpec, attach_shared_array, create_shared_array, destroy_shared_array
 from .worker import superstep_compute
@@ -126,10 +129,10 @@ class _ProcessSession(BackendSession):
         ctx: multiprocessing.context.BaseContext,
     ):
         p = dgraph.num_workers
-        self._shm_blocks: List = []
+        self._shm_blocks: List[SharedMemory] = []
         self._specs: List[Dict[str, SharedArraySpec]] = [{} for _ in range(p)]
-        self._processes: List = []
-        self._conns: List = []
+        self._processes: List[BaseProcess] = []
+        self._conns: List[Connection] = []
         # Registered before any allocation so blocks created by a
         # partially-failed allocate_state still get unlinked.
         self._finalizer = weakref.finalize(

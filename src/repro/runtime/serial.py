@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..bsp.distributed import DistributedGraph
-from ..bsp.program import ACCUMULATE, SubgraphProgram
+from ..bsp.program import SubgraphProgram
 from .base import Backend, BackendSession, allocate_state
 from .worker import superstep_compute
 
@@ -28,16 +28,15 @@ class _SerialSession(BackendSession):
 
     def compute_stage(self, superstep: int = 0) -> np.ndarray:
         state = self.state
-        accumulate = self._program.mode == ACCUMULATE
         work = np.zeros(self._dgraph.num_workers)
         for w, local in enumerate(self._dgraph.locals):
             work[w] = superstep_compute(
                 self._program,
                 local,
                 state.values[w],
-                None if accumulate else state.active[w],
+                state.active[w] if state.active is not None else None,
                 state.changed[w],
-                state.partials[w] if accumulate else None,
+                state.partials[w] if state.partials is not None else None,
                 superstep,
             )
         return work

@@ -17,7 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..bsp.distributed import DistributedGraph
-from ..bsp.program import ACCUMULATE, SubgraphProgram
+from ..bsp.program import SubgraphProgram
 from .base import Backend, BackendSession, allocate_state
 from .worker import superstep_compute
 
@@ -43,14 +43,13 @@ class _ThreadSession(BackendSession):
 
     def _compute_one(self, w: int, superstep: int) -> float:
         state = self.state
-        accumulate = self._program.mode == ACCUMULATE
         return superstep_compute(
             self._program,
             self._dgraph.locals[w],
             state.values[w],
-            None if accumulate else state.active[w],
+            state.active[w] if state.active is not None else None,
             state.changed[w],
-            state.partials[w] if accumulate else None,
+            state.partials[w] if state.partials is not None else None,
             superstep,
         )
 

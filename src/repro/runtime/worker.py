@@ -45,11 +45,13 @@ def superstep_compute(
     where programs are re-instantiated mid-run.
     """
     if program.mode == ACCUMULATE:
+        assert partials is not None, "accumulate mode requires a partials buffer"
         res = program.compute(local, values, None, superstep)
         changed[:] = res.changed
         partials[:] = res.partials
         return float(res.work_units)
 
+    assert active is not None, "minimize mode requires an active mask"
     if active.any():
         res = program.compute(local, values, active, superstep)
         changed[:] = res.changed

@@ -1,0 +1,29 @@
+"""Shared fixtures for the lint suite: tiny on-disk package trees.
+
+Rules scope themselves by path prefix relative to the lint root
+(``apps/``, ``runtime/``, ...), so fixture files are written into a
+temporary tree that mimics the ``src/repro`` layout and linted with the
+tree root as the scan root.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files under a temp tree and lint it."""
+
+    def _lint(files, rules=None, **kwargs):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        kwargs.setdefault("use_cache", False)
+        return run_lint(tmp_path, rule_ids=rules, **kwargs)
+
+    _lint.root = tmp_path
+    return _lint

@@ -1,0 +1,5 @@
+"""Tiny helpers shared by the lint test modules."""
+
+
+def rule_ids(report):
+    return [f.rule for f in report.findings]

@@ -1,0 +1,85 @@
+"""registry-spec: spec literals validated against the live registries."""
+
+from lintutil import rule_ids
+
+RULE = ["registry-spec"]
+
+
+class TestFires:
+    def test_unknown_option_rejected(self, lint_tree):
+        report = lint_tree(
+            {
+                "experiments/custom.py": """\
+                APP_SPEC = "cc?bogus_option=1"
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["registry-spec"]
+        assert "bogus_option" in report.findings[0].message
+
+    def test_unknown_component_rejected(self, lint_tree):
+        report = lint_tree(
+            {
+                "experiments/typo.py": """\
+                METHOD = "ebw?alpha=2"
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["registry-spec"]
+        assert "unknown component" in report.findings[0].message
+
+
+class TestQuiet:
+    def test_valid_specs_pass(self, lint_tree):
+        report = lint_tree(
+            {
+                "experiments/ok.py": """\
+                APP = "cc?local_convergence=false"
+                PR = "pr?pagerank_iters=10"
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_non_spec_strings_ignored(self, lint_tree):
+        report = lint_tree(
+            {
+                "experiments/strings.py": """\
+                QUERY = "what?answer=42 with spaces"
+                URL = "https://example.com/a?b=c"
+                DOC = "plain prose"
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_docstrings_ignored(self, lint_tree):
+        report = lint_tree(
+            {
+                "experiments/doc.py": '''\
+                """nosuchthing?opt=1"""
+
+                def f():
+                    """another?bad=spec"""
+                ''',
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+
+class TestRegistryAudit:
+    def test_live_registries_are_sound(self):
+        """Every registered factory passes the audit on the real registries.py."""
+        from pathlib import Path
+
+        import repro
+        from repro.lint import run_lint
+
+        registries_py = Path(repro.__file__).parent / "pipeline" / "registries.py"
+        report = run_lint(registries_py, rule_ids=RULE, use_cache=False)
+        assert report.findings == []

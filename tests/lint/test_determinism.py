@@ -1,0 +1,181 @@
+"""determinism: unseeded RNGs, wall-clock reads, unordered-set iteration."""
+
+from lintutil import rule_ids
+
+RULE = ["determinism"]
+
+
+class TestFires:
+    def test_wall_clock_module_call(self, lint_tree):
+        report = lint_tree(
+            {
+                "partition/stamp.py": """\
+                import time
+
+                def assign(edges):
+                    return time.time()
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+        assert "time.time" in report.findings[0].message
+
+    def test_wall_clock_from_import(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/stamp.py": """\
+                from datetime import datetime
+
+                def label():
+                    return datetime.now()
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_global_numpy_rng(self, lint_tree):
+        report = lint_tree(
+            {
+                "partition/shuffle.py": """\
+                import numpy as np
+
+                def scramble(a):
+                    np.random.shuffle(a)
+                    return a
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_unseeded_default_rng(self, lint_tree):
+        report = lint_tree(
+            {
+                "graph/gen.py": """\
+                import numpy as np
+
+                def noise(n):
+                    rng = np.random.default_rng()
+                    return rng.random(n)
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+        assert "unseeded" in report.findings[0].message
+
+    def test_global_stdlib_random(self, lint_tree):
+        report = lint_tree(
+            {
+                "stream/pick.py": """\
+                import random
+
+                def pick(items):
+                    return random.choice(items)
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_set_iteration_in_for(self, lint_tree):
+        report = lint_tree(
+            {
+                "partition/ends.py": """\
+                def endpoints(u, v, out):
+                    for w in {u, v}:
+                        out.append(w)
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_list_of_set(self, lint_tree):
+        report = lint_tree(
+            {
+                "bsp/order.py": """\
+                def order(parts):
+                    return list(set(parts))
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_comprehension_over_set_union(self, lint_tree):
+        report = lint_tree(
+            {
+                "checkpoint/keys.py": """\
+                def merged(a, b):
+                    return [k for k in set(a) | set(b)]
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+
+class TestQuiet:
+    def test_seeded_rng_and_perf_counter(self, lint_tree):
+        report = lint_tree(
+            {
+                "partition/good.py": """\
+                import time
+
+                import numpy as np
+
+                def assign(edges, seed):
+                    t0 = time.perf_counter()
+                    rng = np.random.default_rng(seed)
+                    order = rng.permutation(len(edges))
+                    return order, time.perf_counter() - t0
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_sorted_set_passes(self, lint_tree):
+        report = lint_tree(
+            {
+                "checkpoint/keys.py": """\
+                def merged(a, b):
+                    return sorted(set(a) | set(b))
+
+                def total(s):
+                    return sum(x for x in set(s))
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_cold_paths_exempt(self, lint_tree):
+        """analysis/ and cli-level timing is recorded output, not a result input."""
+        report = lint_tree(
+            {
+                "analysis/report.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_method_named_today_passes(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/calendar_app.py": """\
+                def schedule(self_like):
+                    return self_like.date.today()
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []

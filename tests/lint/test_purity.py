@@ -1,0 +1,111 @@
+"""worker-purity: no module globals in runtime/, stage-local session writes."""
+
+from lintutil import rule_ids
+
+RULE = ["worker-purity"]
+
+
+class TestFires:
+    def test_global_statement(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/counters.py": """\
+                _CALLS = 0
+
+                def bump():
+                    global _CALLS
+                    _CALLS += 1
+                """
+            },
+            rules=RULE,
+        )
+        assert "worker-purity" in rule_ids(report)
+
+    def test_mutable_global_used_in_function(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/cachey.py": """\
+                _CACHE = {}
+
+                def lookup(key):
+                    return _CACHE.get(key)
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["worker-purity"]
+        assert "_CACHE" in report.findings[0].message
+
+    def test_session_array_write_outside_stages(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/sneaky.py": """\
+                from repro.runtime.base import BackendSession
+
+                class _Sneaky(BackendSession):
+                    def compute_stage(self, superstep=0):
+                        self.state.values[0][:] = 1.0
+
+                    def poke(self):
+                        self.state.values[0][:] = 0.0
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["worker-purity"]
+        assert "poke" in report.findings[0].message
+
+
+class TestQuiet:
+    def test_stage_methods_may_write(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/good.py": """\
+                from repro.runtime.base import BackendSession
+
+                class _Good(BackendSession):
+                    def __init__(self, state):
+                        self.state = state
+
+                    def compute_stage(self, superstep=0):
+                        self.state.changed[0][:] = False
+                        return None
+
+                    def exchange_stage(self):
+                        self.state.values[0][:] = 0.0
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_immutable_globals_and_all_pass(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/consts.py": """\
+                __all__ = ["TIMEOUT", "flavors"]
+
+                TIMEOUT = 5.0
+                _NAMES = ("serial", "thread")
+
+                def flavors():
+                    return _NAMES
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_outside_runtime_exempt(self, lint_tree):
+        report = lint_tree(
+            {
+                "analysis/tallies.py": """\
+                _CACHE = {}
+
+                def lookup(key):
+                    return _CACHE.get(key)
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []

@@ -1,0 +1,125 @@
+"""program-statelessness: the PR-5 ``_built`` bug class stays dead."""
+
+from lintutil import rule_ids
+
+RULE = ["program-statelessness"]
+
+
+class TestFires:
+    def test_pr5_built_flag_regression(self, lint_tree):
+        """The exact PR-5 bug: CC caching a one-shot flag on self in compute."""
+        report = lint_tree(
+            {
+                "apps/cc.py": """\
+                from repro.bsp.program import SubgraphProgram
+
+                class ConnectedComponents(SubgraphProgram):
+                    def __init__(self):
+                        self._built = False
+
+                    def compute(self, local, values, active, superstep):
+                        if not self._built:
+                            self._built = True
+                        return values
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["program-statelessness"]
+        assert "_built" in report.findings[0].message
+        assert report.exit_code == 1
+
+    def test_transitive_subclass_and_augassign(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/deep.py": """\
+                from repro.bsp.program import SubgraphProgram
+
+                class Base(SubgraphProgram):
+                    pass
+
+                class Derived(Base):
+                    def compute(self, local, values, active, superstep):
+                        self.calls += 1
+                        return values
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["program-statelessness"]
+
+    def test_subscript_and_delete_writes(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/cachey.py": """\
+                from repro.bsp.program import SubgraphProgram
+
+                class P(SubgraphProgram):
+                    def __init__(self):
+                        self.cache = {}
+
+                    def compute(self, local, values, active, superstep):
+                        self.cache[superstep] = values
+                        return values
+
+                    def reset(self):
+                        del self.cache
+                """
+            },
+            rules=RULE,
+        )
+        assert len(report.findings) == 2
+
+    def test_write_in_nested_function(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/nested.py": """\
+                from repro.bsp.program import SubgraphProgram
+
+                class P(SubgraphProgram):
+                    def compute(self, local, values, active, superstep):
+                        def helper():
+                            self.sneaky = 1
+                        helper()
+                        return values
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["program-statelessness"]
+
+
+class TestQuiet:
+    def test_init_writes_pass(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/good.py": """\
+                from repro.bsp.program import SubgraphProgram
+
+                class P(SubgraphProgram):
+                    def __init__(self, seed):
+                        self.seed = seed
+                        self.mode = "minimize"
+
+                    def compute(self, local, values, active, superstep):
+                        limit = self.seed + superstep
+                        return values * limit
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+        assert report.exit_code == 0
+
+    def test_non_program_classes_pass(self, lint_tree):
+        report = lint_tree(
+            {
+                "apps/other.py": """\
+                class Accumulator:
+                    def bump(self):
+                        self.total = getattr(self, "total", 0) + 1
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []

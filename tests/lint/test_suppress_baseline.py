@@ -1,0 +1,138 @@
+"""Suppression comments, baseline semantics, and the CLI exit-code contract."""
+
+import json
+
+from repro.cli import main
+from repro.lint import Baseline, Finding
+from repro.lint.suppress import collect_suppressions, is_suppressed
+
+BAD_SET_ITER = """\
+def endpoints(u, v, out):
+    for w in {u, v}:
+        out.append(w)
+"""
+
+BAD_SET_ITER_SAMELINE = """\
+def endpoints(u, v, out):
+    for w in {u, v}:  # repro: lint-ignore[determinism]
+        out.append(w)
+"""
+
+BAD_SET_ITER_ABOVE = """\
+def endpoints(u, v, out):
+    # hash order is irrelevant here: out is re-sorted by the caller
+    # repro: lint-ignore[determinism]
+    for w in {u, v}:
+        out.append(w)
+"""
+
+
+class TestSuppressionParsing:
+    def test_same_line_and_comment_above(self):
+        lines = [
+            "x = 1  # repro: lint-ignore[determinism]",
+            "# repro: lint-ignore[worker-purity, process-safety]",
+            "",
+            "y = 2",
+        ]
+        supp = collect_suppressions(lines)
+        assert supp[1] == {"determinism"}
+        assert supp[4] == {"worker-purity", "process-safety"}
+
+    def test_is_suppressed_matches_rule_and_line(self):
+        supp = {3: {"determinism"}}
+        hit = Finding(rule="determinism", path="a.py", line=3, col=0, message="m")
+        miss_rule = Finding(rule="worker-purity", path="a.py", line=3, col=0, message="m")
+        miss_line = Finding(rule="determinism", path="a.py", line=4, col=0, message="m")
+        assert is_suppressed(hit, supp)
+        assert not is_suppressed(miss_rule, supp)
+        assert not is_suppressed(miss_line, supp)
+
+
+class TestSuppressionThroughEngine:
+    def test_both_comment_styles_silence(self, lint_tree):
+        report = lint_tree(
+            {
+                "partition/a.py": BAD_SET_ITER_SAMELINE,
+                "partition/b.py": BAD_SET_ITER_ABOVE,
+            },
+            rules=["determinism"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+        assert report.exit_code == 0
+
+
+class TestBaseline:
+    def test_partition_consumes_count_budget(self):
+        f = Finding(rule="r", path="p.py", line=1, col=0, message="m")
+        again = Finding(rule="r", path="p.py", line=9, col=0, message="m")
+        baseline = Baseline.from_findings([f])
+        new, carried = baseline.partition([f, again])
+        assert carried == [f] and new == [again]
+
+    def test_round_trip(self, tmp_path):
+        f = Finding(rule="r", path="p.py", line=1, col=0, message="m")
+        Baseline.from_findings([f, f]).save(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        assert len(loaded) == 2
+        new, carried = loaded.partition([f, f, f])
+        assert len(carried) == 2 and len(new) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+class TestCliExitCodes:
+    """The ISSUE's contract: ignored -> 0, baselined -> 0, new -> 1."""
+
+    def _write(self, tmp_path, name, source):
+        path = tmp_path / "partition"
+        path.mkdir(exist_ok=True)
+        (path / name).write_text(source, encoding="utf-8")
+        return tmp_path
+
+    def test_suppressed_finding_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        root = self._write(tmp_path, "a.py", BAD_SET_ITER_SAMELINE)
+        assert main(["lint", str(root), "--no-cache"]) == 0
+
+    def test_baselined_finding_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        root = self._write(tmp_path, "a.py", BAD_SET_ITER)
+        assert main(["lint", str(root), "--no-cache"]) == 1
+        assert main(["lint", str(root), "--no-cache", "--write-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").is_file()
+        assert main(["lint", str(root), "--no-cache"]) == 0
+
+    def test_new_finding_on_top_of_baseline_exits_one(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        root = self._write(tmp_path, "a.py", BAD_SET_ITER)
+        assert main(["lint", str(root), "--no-cache", "--write-baseline"]) == 0
+        self._write(tmp_path, "b.py", "import time\n\ndef f():\n    return time.time()\n")
+        assert main(["lint", str(root), "--no-cache"]) == 1
+
+    def test_json_report_shape(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        root = self._write(tmp_path, "a.py", BAD_SET_ITER)
+        assert main(["lint", str(root), "--no-cache", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "determinism"
+        assert payload["findings"][0]["path"] == "partition/a.py"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "determinism",
+            "process-safety",
+            "program-statelessness",
+            "registry-spec",
+            "worker-purity",
+        ):
+            assert rule in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rules", "bogus-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
