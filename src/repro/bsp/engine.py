@@ -8,18 +8,25 @@ only between replicas of the same vertex: mirrors push to masters,
 masters broadcast combined values back), and synchronization (the
 barrier; the slowest worker determines superstep wall time).
 
-The engine owns the superstep *orchestration* — replica exchange,
-convergence, accounting — while the computation stage executes on a
-pluggable :mod:`repro.runtime` backend (``serial``, ``thread`` or
-``process``), all of which produce bit-identical results.  Two clocks
-are recorded per superstep: real wall-clock per stage (what this
-machine and backend actually took — see ``SuperstepStats.real_seconds``)
-and the deterministic :class:`~repro.bsp.cost_model.CostModel`
-accounting, which models the paper's 4-node cluster and remains
-authoritative for all paper figures (see DESIGN.md §3 and the
-:mod:`repro.runtime` package docstring).  Message counts are exact —
-every replica value transfer is tallied on the sending and receiving
-worker.
+The engine owns the superstep *orchestration* — sequencing, convergence,
+accounting, checkpointing — while both per-superstep stages execute on
+a pluggable :mod:`repro.runtime` backend (``serial``, ``thread`` or
+``process``), all of which produce bit-identical results.  Each
+superstep is ``compute_stage`` → ``exchange_stage`` → convergence
+check: the computation stage runs every worker's sequential algorithm,
+and the exchange stage runs the replica exchange *in the workers* too,
+each worker pulling its inbound replica updates over a route plan the
+session builds once per run (see :mod:`repro.runtime.base`).  One loop
+serves both program modes and both fresh and resumed runs.
+
+Two clocks are recorded per superstep: real wall-clock per stage (what
+this machine and backend actually took — see
+``SuperstepStats.real_seconds``) and the deterministic
+:class:`~repro.bsp.cost_model.CostModel` accounting, which models the
+paper's 4-node cluster and remains authoritative for all paper figures
+(see DESIGN.md §3 and the :mod:`repro.runtime` package docstring).
+Message counts are exact — every replica value transfer is tallied on
+the sending and receiving worker.
 
 Long runs can be made crash-tolerant with superstep-granular
 checkpointing (``checkpoint_dir=``/``checkpoint_every=``, resumed via
@@ -82,7 +89,7 @@ class BSPRun:
     num_workers: int
     supersteps: List[SuperstepStats] = field(default_factory=list)
     values: Optional[np.ndarray] = None
-    #: name of the runtime backend that executed the computation stages.
+    #: name of the runtime backend that executed the superstep stages.
     backend: str = "serial"
     #: superstep boundary this run was resumed from (``None`` = fresh run).
     #: Deterministic results are identical either way; this only records
@@ -187,7 +194,7 @@ class BSPEngine:
         Safety cap; minimize-mode programs normally terminate on
         quiescence well before this.
     backend:
-        Computation-stage executor: a :class:`repro.runtime.Backend`
+        Superstep-stage executor: a :class:`repro.runtime.Backend`
         instance, a backend name (``"serial"``, ``"thread"``,
         ``"process"``), or ``None`` for the serial reference.  Backends
         change wall-clock time only — results and cost-model accounting
@@ -256,7 +263,9 @@ class BSPEngine:
         run — graph, partition layout, program parameters, cost model —
         or :class:`repro.checkpoint.CheckpointError` is raised; the
         resumed execution is bit-identical to the uninterrupted one on
-        every backend.
+        every backend.  Fresh and resumed runs execute the *same*
+        superstep loop — a resume only restores state and starts the
+        loop at the snapshot boundary.
         """
         if program.mode not in (MINIMIZE, ACCUMULATE):
             raise ValueError(f"unknown program mode {program.mode!r}")
@@ -310,15 +319,13 @@ class BSPEngine:
                 run.resumed_from = snapshot.superstep
                 done = snapshot.done
             ckpt = _CheckpointHook(writer, fingerprint, session)
-            if program.mode == MINIMIZE:
-                return self._run_minimize(dgraph, program, session, run, done, ckpt)
-            return self._run_accumulate(dgraph, program, session, run, done, ckpt)
+            return self._superstep_loop(dgraph, program, session, run, done, ckpt)
 
     # ------------------------------------------------------------------
-    # Minimize mode (CC, SSSP, BFS)
+    # The backend-agnostic superstep loop (both modes, fresh and resumed)
     # ------------------------------------------------------------------
 
-    def _run_minimize(
+    def _superstep_loop(
         self,
         dgraph: DistributedGraph,
         program: SubgraphProgram,
@@ -327,135 +334,47 @@ class BSPEngine:
         resumed_done: bool,
         ckpt: "_CheckpointHook",
     ) -> BSPRun:
-        p = dgraph.num_workers
-        values = session.state.values
-        active = session.state.active
-        changed = session.state.changed
-        for _ in range(run.num_supersteps, self.max_supersteps):
-            if resumed_done or not any(bool(a.any()) for a in active):
+        """Sequence ``compute_stage`` → ``exchange_stage`` → convergence.
+
+        The single loop all executions share: minimize (CC, SSSP, BFS)
+        and accumulate (PageRank) mode, fresh and resumed runs.  A
+        resumed run enters with restored state and ``run.supersteps``
+        pre-filled, so the range simply starts at the snapshot boundary;
+        a resumed-*finished* run (``resumed_done``) replays nothing.
+        Both stages execute on the backend session — the engine never
+        touches replica routes itself.
+        """
+        minimize = program.mode == MINIMIZE
+        state = session.state
+        for step in range(run.num_supersteps, self.max_supersteps):
+            if resumed_done:
                 break
+            if minimize and not any(bool(a.any()) for a in state.active):
+                break  # quiescent before the step: nothing left to do
             t0 = perf_counter()
-            work = session.compute_stage(run.num_supersteps)
+            work = session.compute_stage(step)
             t_compute = perf_counter() - t0
 
             t0 = perf_counter()
-            sent = np.zeros(p, dtype=np.int64)
-            received = np.zeros(p, dtype=np.int64)
-
-            # Communication stage 1: changed mirrors push to masters.
-            master_dirty = [c & l.is_master for c, l in zip(changed, dgraph.locals)]
-            for (w, mw), route in dgraph.up_routes.items():
-                sel = changed[w][route.src_index]
-                if not sel.any():
-                    continue
-                src_idx = route.src_index[sel]
-                dst_idx = route.dst_index[sel]
-                vals = values[w][src_idx]
-                n_msgs = int(sel.sum())
-                sent[w] += n_msgs
-                received[mw] += n_msgs
-                better = vals < values[mw][dst_idx]
-                if better.any():
-                    np.minimum.at(values[mw], dst_idx[better], vals[better])
-                    master_dirty[mw][dst_idx[better]] = True
-                    active[mw][dst_idx[better]] = True
-
-            # Communication stage 2: dirty masters broadcast to mirrors.
-            for (mw, w), route in dgraph.down_routes.items():
-                sel = master_dirty[mw][route.src_index]
-                if not sel.any():
-                    continue
-                src_idx = route.src_index[sel]
-                dst_idx = route.dst_index[sel]
-                vals = values[mw][src_idx]
-                n_msgs = int(sel.sum())
-                sent[mw] += n_msgs
-                received[w] += n_msgs
-                better = vals < values[w][dst_idx]
-                if better.any():
-                    values[w][dst_idx[better]] = vals[better]
-                    active[w][dst_idx[better]] = True
+            exchange = session.exchange_stage(step)
             t_exchange = perf_counter() - t0
 
             run.supersteps.append(
-                self._stats(work, sent, received, t_compute, t_exchange)
+                self._stats(work, exchange.sent, exchange.received, t_compute, t_exchange)
             )
-            if not any(bool(a.any()) for a in active):
+            if minimize:
+                if not any(bool(a.any()) for a in state.active):
+                    break
+            elif program.has_converged(step, exchange.delta):
                 break
             ckpt.boundary(run)
         if not resumed_done:
             # A resumed-finished run replayed nothing; its done snapshot
             # is already on disk and need not be rewritten.
             ckpt.finalize(run)
-        run.values = dgraph.gather_master_values(values, default=0)
-        return run
-
-    # ------------------------------------------------------------------
-    # Accumulate mode (PageRank)
-    # ------------------------------------------------------------------
-
-    def _run_accumulate(
-        self,
-        dgraph: DistributedGraph,
-        program: SubgraphProgram,
-        session,
-        run: BSPRun,
-        resumed_done: bool,
-        ckpt: "_CheckpointHook",
-    ) -> BSPRun:
-        p = dgraph.num_workers
-        values = session.state.values
-        changed = session.state.changed
-        partials = session.state.partials
-        for step in range(run.num_supersteps, self.max_supersteps):
-            if resumed_done:
-                break
-            t0 = perf_counter()
-            work = session.compute_stage(run.num_supersteps)
-            t_compute = perf_counter() - t0
-
-            t0 = perf_counter()
-            sent = np.zeros(p, dtype=np.int64)
-            received = np.zeros(p, dtype=np.int64)
-
-            # Stage 1: mirrors push partial sums to masters.
-            sums = [part.copy() for part in partials]
-            for (w, mw), route in dgraph.up_routes.items():
-                sel = changed[w][route.src_index]
-                if not sel.any():
-                    continue
-                src_idx = route.src_index[sel]
-                dst_idx = route.dst_index[sel]
-                n_msgs = int(sel.sum())
-                sent[w] += n_msgs
-                received[mw] += n_msgs
-                np.add.at(sums[mw], dst_idx, partials[w][src_idx])
-
-            # Apply at masters, track the global change for convergence.
-            global_delta = 0.0
-            for w, local in enumerate(dgraph.locals):
-                new_vals = program.apply(local, values[w], sums[w])
-                mask = local.is_master
-                global_delta += float(np.abs(new_vals[mask] - values[w][mask]).sum())
-                values[w][mask] = new_vals[mask]
-
-            # Stage 2: masters broadcast the new values to all mirrors.
-            for (mw, w), route in dgraph.down_routes.items():
-                n_msgs = int(route.src_index.shape[0])
-                sent[mw] += n_msgs
-                received[w] += n_msgs
-                values[w][route.dst_index] = values[mw][route.src_index]
-            t_exchange = perf_counter() - t0
-
-            run.supersteps.append(
-                self._stats(work, sent, received, t_compute, t_exchange)
-            )
-            if program.has_converged(step, global_delta):
-                break
-            ckpt.boundary(run)
-        if not resumed_done:
-            ckpt.finalize(run)
-        run.values = dgraph.gather_master_values(values, default=0.0)
+        run.values = dgraph.gather_master_values(
+            state.values, default=0 if minimize else 0.0
+        )
         return run
 
     # ------------------------------------------------------------------
@@ -481,7 +400,7 @@ class BSPEngine:
 
 
 class _CheckpointHook:
-    """Glue between the superstep loops and the checkpoint writer.
+    """Glue between the superstep loop and the checkpoint writer.
 
     ``boundary`` runs after every completed superstep (snapshot only on
     the configured cadence); ``finalize`` runs once when the loop

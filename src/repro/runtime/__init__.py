@@ -2,59 +2,82 @@
 
 The paper's engine (DRONE, Section IV-B) runs subgraph workers on a
 real cluster; this package is the shared-memory analogue.  It executes
-:class:`~repro.bsp.program.SubgraphProgram` supersteps *genuinely* in
-parallel while the :class:`~repro.bsp.engine.BSPEngine` keeps owning
-the superstep contract — compute, replica exchange, barrier — so every
-backend produces bit-identical results to the serial reference.
+*both* stages of every :class:`~repro.bsp.program.SubgraphProgram`
+superstep — computation *and* replica exchange — genuinely in parallel,
+while the :class:`~repro.bsp.engine.BSPEngine` keeps owning the
+superstep sequencing, convergence and accounting, so every backend
+produces bit-identical results to the serial reference.
 
 Backend contract
 ----------------
 A :class:`Backend` opens a :class:`BackendSession` per program run.
 The session exposes the per-worker state arrays (values / active /
-changed / partials) and one operation, ``compute_stage()``, which runs
-:func:`repro.runtime.worker.superstep_compute` for every worker and
-blocks until all of them finish (the first half of the BSP barrier).
-The engine then performs the replica exchange directly on the session's
-arrays — masters and mirrors trade values through shared memory, never
-through per-superstep serialization.  Three backends ship:
+changed / partials) and two operations:
+
+``compute_stage(superstep)``
+    Runs :func:`repro.runtime.worker.superstep_compute` for every
+    worker and blocks until all of them finish (the first barrier of
+    the superstep).
+
+``exchange_stage(superstep)``
+    Runs the replica exchange *in the workers*, sharded by destination
+    over a :class:`~repro.runtime.base.RoutePlan` built exactly once
+    per session: every worker pulls its inbound mirror→master updates
+    (:func:`~repro.runtime.worker.superstep_exchange_up`), all workers
+    barrier, then every worker pulls its inbound master→mirror
+    broadcasts (:func:`~repro.runtime.worker.superstep_exchange_down`).
+    Masters and mirrors trade values through shared memory, never
+    through per-superstep serialization; exact sent/received message
+    tallies return through the stage barrier as an
+    :class:`~repro.runtime.base.ExchangeResult`.
+
+Three backends ship:
 
 ``serial``
-    The reference: workers run sequentially in the calling process.
+    The reference and bit-identity oracle: workers run sequentially in
+    the calling process, up phase before down phase.
 ``thread``
     A persistent :class:`~concurrent.futures.ThreadPoolExecutor`;
     workers share the engine's heap arrays, parallelism comes from
     numpy releasing the GIL inside bulk kernels.
 ``process``
     A persistent ``multiprocessing`` pool.  Each child receives its
-    :class:`~repro.bsp.distributed.LocalSubgraph` and program once, at
-    session start, and holds them for the whole run.
+    :class:`~repro.bsp.distributed.LocalSubgraph`, program and inbound
+    route slices once, at session start, and holds them for the whole
+    run.
 
 Shared-memory layout (process backend)
 --------------------------------------
 Per worker ``w``, one ``multiprocessing.shared_memory`` block per state
-array, created by the parent and mapped by child ``w``:
+or scratch array, created by the parent and mapped by *every* child
+(the exchange phases read sibling workers' arrays directly):
 
 ===========  =========================  ===============================
-array        shape / dtype              written by
+array        shape / dtype              written by (child ``w`` only)
 ===========  =========================  ===============================
-``values``   ``initial_values`` shape   child (compute), parent (exchange)
-``active``   ``(n_local,)`` bool        child (activation), parent (exchange)
-``changed``  ``(n_local,)`` bool        child (compute); parent reads
-``partials`` ``values``-shaped          child (compute); parent reads
+``values``   ``initial_values`` shape   compute + both exchange phases
+``active``   ``(n_local,)`` bool        compute (activation), exchange
+``changed``  ``(n_local,)`` bool        compute; exchange reads
+``partials`` ``values``-shaped          compute; exchange up reads
+``dirty``    ``(n_local,)`` bool        exchange up; siblings read in down
+``sums``     ``values``-shaped          exchange up (owner-only scratch)
 ===========  =========================  ===============================
 
-``active`` exists only for minimize-mode programs, ``partials`` only
-for accumulate mode.  The parent owns every block's lifetime and
-unlinks it at session close; children only ever ``close()`` their
-mappings (they share the parent's resource tracker, so their
-attach-time registration is a set-level no-op — see
+``active``/``dirty`` exist only for minimize-mode programs,
+``partials``/``sums`` only for accumulate mode; ``dirty`` and ``sums``
+are per-superstep exchange scratch outside the checkpoint state (see
+:class:`~repro.runtime.base.ExchangeScratch`).  The parent owns every
+block's lifetime and unlinks it at session close; children only ever
+``close()`` their mappings (they share the parent's resource tracker,
+so their attach-time registration is a set-level no-op — see
 :mod:`repro.runtime.shm`).
 
 Real time vs. modeled time
 --------------------------
-Runs now record *both* clocks.  Real wall-clock per superstep stage
+Runs record *both* clocks.  Real wall-clock per superstep stage
 (``SuperstepStats.real_seconds``) measures this machine and backend —
-use it for runtime benchmarks (``benchmarks/bench_runtime.py``).  The
+use it for runtime benchmarks (``benchmarks/bench_runtime.py``, which
+reports compute and exchange stage walls separately).  The
 deterministic :class:`~repro.bsp.cost_model.CostModel` accounting is
 unchanged and remains **authoritative for every paper artifact**
 (Tables II–V, Figures 2–5): those figures model a 4-node cluster's cost
@@ -64,19 +87,41 @@ stay identical across backends, machines and CI runs.
 
 from __future__ import annotations
 
-from .base import Backend, BackendError, BackendSession, WorkerState, allocate_state
+from .base import (
+    Backend,
+    BackendError,
+    BackendSession,
+    ExchangeResult,
+    ExchangeScratch,
+    RoutePlan,
+    SharedArraySession,
+    WorkerState,
+    allocate_scratch,
+    allocate_state,
+    assemble_exchange,
+    build_route_plan,
+)
 from .process import ProcessBackend
 from .serial import SerialBackend
 from .threads import ThreadBackend
-from .worker import superstep_compute
+from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
 
 __all__ = [
     "Backend",
     "BackendError",
     "BackendSession",
+    "SharedArraySession",
     "WorkerState",
+    "ExchangeScratch",
+    "ExchangeResult",
+    "RoutePlan",
     "allocate_state",
+    "allocate_scratch",
+    "build_route_plan",
+    "assemble_exchange",
     "superstep_compute",
+    "superstep_exchange_up",
+    "superstep_exchange_down",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",

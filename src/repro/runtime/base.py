@@ -1,4 +1,4 @@
-"""The backend contract: sessions, worker state, and allocation.
+"""The backend contract: sessions, worker state, routes, and allocation.
 
 A :class:`Backend` turns a routed
 :class:`~repro.bsp.distributed.DistributedGraph` plus a
@@ -7,20 +7,35 @@ A :class:`Backend` turns a routed
 engine drives for one program execution.  The engine's orchestration is
 backend-agnostic: it only ever
 
-1. reads/writes the per-worker arrays in :attr:`BackendSession.state`
-   (the replica exchange and convergence checks), and
-2. calls :meth:`BackendSession.compute_stage` to run the computation
-   stage of one superstep on every worker, however the backend sees fit
-   (sequentially, on a thread pool, or on a persistent process pool over
-   shared memory).
+1. calls :meth:`BackendSession.compute_stage` to run the computation
+   stage of one superstep on every worker,
+2. calls :meth:`BackendSession.exchange_stage` to run the replica
+   exchange on every worker (each worker *pulls* its inbound replica
+   updates from the other workers' arrays through shared memory), and
+3. reads the per-worker arrays in :attr:`BackendSession.state` for the
+   convergence check, the final gather, and checkpoint save/restore.
 
-The correctness contract for ``compute_stage`` is: after it returns,
+Both stages execute however the backend sees fit — sequentially, on a
+thread pool, or on a persistent process pool over shared memory.
+
+The correctness contract is: after ``compute_stage`` returns,
 ``state.values``/``state.active``/``state.changed`` (and
 ``state.partials`` in accumulate mode) reflect exactly what
 :func:`repro.runtime.worker.superstep_compute` would have produced for
-every worker, and the returned array holds each worker's work units.
-Backends must produce *bit-identical* state to the serial reference —
-parallelism may only change wall-clock time, never results.
+every worker; after ``exchange_stage`` returns, they reflect exactly
+what :func:`repro.runtime.worker.superstep_exchange_up` followed by
+:func:`repro.runtime.worker.superstep_exchange_down` would have
+produced, and the returned :class:`ExchangeResult` carries the exact
+per-worker message tallies.  Backends must produce *bit-identical*
+state to the serial reference — parallelism may only change wall-clock
+time, never results.
+
+The exchange stage is sharded by *destination* worker over a
+:class:`RoutePlan` built exactly once per session: each worker owns the
+inbound slice of the mirror→master (up) and master→mirror (down)
+routes, writes only its own arrays, and reads the other workers'
+arrays, which are stable during the phase that reads them (compute and
+the two exchange phases are separated by barriers).
 
 The in-place-mutation requirement on :attr:`BackendSession.state` also
 carries checkpoint *restore* for free: resuming a run
@@ -28,21 +43,35 @@ carries checkpoint *restore* for free: resuming a run
 arrays through the engine-side views before the first compute stage,
 and every backend's workers — including the process backend's children,
 which map the same shared-memory blocks — observe the restored values
-exactly as they observe exchange-stage writes.
+exactly as they observe compute-stage writes.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..bsp.distributed import DistributedGraph
+from ..bsp.distributed import DistributedGraph, _Route
 from ..bsp.program import ACCUMULATE, MINIMIZE, SubgraphProgram
+from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
 
-__all__ = ["BackendError", "WorkerState", "BackendSession", "Backend", "allocate_state"]
+__all__ = [
+    "BackendError",
+    "WorkerState",
+    "ExchangeScratch",
+    "ExchangeResult",
+    "RoutePlan",
+    "BackendSession",
+    "SharedArraySession",
+    "Backend",
+    "allocate_state",
+    "allocate_scratch",
+    "build_route_plan",
+    "assemble_exchange",
+]
 
 
 class BackendError(RuntimeError):
@@ -53,12 +82,14 @@ class BackendError(RuntimeError):
 class WorkerState:
     """The per-worker arrays one program execution lives in.
 
-    All lists have length ``p`` (one entry per worker).  The engine
-    mutates these arrays *in place* during the replica-exchange stage;
-    backends must hand out arrays for which in-place mutation is visible
-    to their compute workers (trivially true for the serial and thread
-    backends, true via ``multiprocessing.shared_memory`` for the process
-    backend).
+    All lists have length ``p`` (one entry per worker).  The exchange
+    stage mutates these arrays *in place* on the workers; backends must
+    hand out arrays for which in-place mutation by one worker is visible
+    to every other worker and to the engine (trivially true for the
+    serial and thread backends, true via
+    ``multiprocessing.shared_memory`` for the process backend) — the
+    engine relies on that visibility for convergence checks, the final
+    gather, and checkpoint restore.
 
     ``active`` is present only for minimize-mode programs, ``partials``
     only for accumulate-mode programs; ``changed`` doubles as the
@@ -69,6 +100,105 @@ class WorkerState:
     changed: List[np.ndarray]
     active: Optional[List[np.ndarray]] = None
     partials: Optional[List[np.ndarray]] = None
+
+
+@dataclass
+class ExchangeScratch:
+    """Per-worker exchange-stage scratch, *outside* the checkpoint state.
+
+    These arrays are recomputed from scratch at the start of every
+    exchange stage, so they are deliberately not part of
+    :class:`WorkerState`: snapshots (:mod:`repro.checkpoint`) neither
+    save nor restore them, and the snapshot format is unchanged by the
+    worker-side exchange refactor.
+
+    ``dirty`` (minimize mode) is each worker's "master improved this
+    superstep" mask — written by the owning worker in the up phase and
+    *read by other workers* in the down phase, so it must live in
+    cross-worker-visible storage just like the state arrays.  ``sums``
+    (accumulate mode) is each worker's combined-partials accumulator,
+    touched only by its owner.
+    """
+
+    dirty: Optional[List[np.ndarray]] = None
+    sums: Optional[List[np.ndarray]] = None
+
+
+@dataclass
+class ExchangeResult:
+    """What one exchange stage produced, assembled across workers.
+
+    ``sent``/``received`` are exact per-worker message tallies (length
+    ``p``, int64); ``delta`` is the global value change accumulate-mode
+    programs feed to ``has_converged`` (0.0 in minimize mode).
+    """
+
+    sent: np.ndarray
+    received: np.ndarray
+    delta: float = 0.0
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """Each worker's inbound slice of the replica-exchange routes.
+
+    Built exactly once per session from the
+    :class:`~repro.bsp.distributed.DistributedGraph` layout (never per
+    superstep).  ``inbound_up[w]`` lists ``(mirror_worker, route)``
+    pairs for every mirror→master route terminating at worker ``w``;
+    ``inbound_down[w]`` lists ``(master_worker, route)`` pairs for every
+    master→mirror route terminating at ``w``.  Within one destination
+    the pairs preserve the route dictionaries' insertion order, so the
+    per-destination processing order is identical to the historical
+    coordinator-side loop — which keeps even floating-point
+    accumulation bit-identical.
+    """
+
+    num_workers: int
+    inbound_up: List[List[Tuple[int, _Route]]] = field(default_factory=list)
+    inbound_down: List[List[Tuple[int, _Route]]] = field(default_factory=list)
+
+
+def build_route_plan(dgraph: DistributedGraph) -> RoutePlan:
+    """Shard the graph's replica routes by destination worker.
+
+    Sessions call this once at construction; the plan is immutable for
+    the whole run (the process backend ships each child its slice once,
+    at session start).
+    """
+    p = dgraph.num_workers
+    inbound_up: List[List[Tuple[int, _Route]]] = [[] for _ in range(p)]
+    inbound_down: List[List[Tuple[int, _Route]]] = [[] for _ in range(p)]
+    for (w, mw), route in dgraph.up_routes.items():
+        inbound_up[mw].append((w, route))
+    for (mw, w), route in dgraph.down_routes.items():
+        inbound_down[w].append((mw, route))
+    return RoutePlan(num_workers=p, inbound_up=inbound_up, inbound_down=inbound_down)
+
+
+def assemble_exchange(
+    up_counts: List[np.ndarray],
+    down_counts: List[np.ndarray],
+    deltas: List[float],
+) -> ExchangeResult:
+    """Combine per-worker pull tallies into the global exchange record.
+
+    ``up_counts[i][j]`` (resp. ``down_counts[i][j]``) is the number of
+    messages worker ``i`` pulled from worker ``j`` during the up (resp.
+    down) phase.  A message pulled by ``i`` from ``j`` counts as
+    received by ``i`` and sent by ``j`` — exactly the tallies the
+    historical coordinator-side exchange recorded per route.  ``deltas``
+    are summed in worker order so accumulate-mode convergence deltas
+    stay bit-identical to the serial reference.
+    """
+    up = np.stack(up_counts)
+    down = np.stack(down_counts)
+    received = up.sum(axis=1) + down.sum(axis=1)
+    sent = up.sum(axis=0) + down.sum(axis=0)
+    delta = 0.0
+    for d in deltas:
+        delta += float(d)
+    return ExchangeResult(sent=sent, received=received, delta=delta)
 
 
 class BackendSession(abc.ABC):
@@ -90,8 +220,21 @@ class BackendSession(abc.ABC):
         ``superstep`` is the 0-based index of the superstep being
         computed; backends must deliver it to every worker's
         :func:`~repro.runtime.worker.superstep_compute` call.  Blocks
-        until all workers finish (the first half of the BSP barrier —
-        the engine's exchange stage is the second half).
+        until all workers finish (the first barrier of the superstep —
+        the exchange stage's phases are the second and third).
+        """
+
+    @abc.abstractmethod
+    def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
+        """Run one replica-exchange stage on every worker.
+
+        Executes the two pull phases of
+        :mod:`repro.runtime.worker` — ``superstep_exchange_up`` on every
+        worker, a barrier, then ``superstep_exchange_down`` on every
+        worker — over the session's precomputed :class:`RoutePlan`, and
+        blocks until all workers finish both.  The barrier between the
+        phases is mandatory: the down phase reads master values and
+        dirty masks the up phase writes on *other* workers.
         """
 
     def close(self) -> None:
@@ -105,7 +248,7 @@ class BackendSession(abc.ABC):
 
 
 class Backend(abc.ABC):
-    """A pluggable execution strategy for the BSP computation stage."""
+    """A pluggable execution strategy for the BSP superstep stages."""
 
     #: canonical registry name ("serial", "thread", "process").
     name: str = "?"
@@ -162,3 +305,90 @@ def allocate_state(
         active=active if program.mode == MINIMIZE else None,
         partials=partials if program.mode == ACCUMULATE else None,
     )
+
+
+def allocate_scratch(
+    dgraph: DistributedGraph,
+    program: SubgraphProgram,
+    state: WorkerState,
+    alloc: AllocFn = _copy_alloc,
+) -> ExchangeScratch:
+    """Build the per-worker exchange scratch for one program execution.
+
+    Uses the already-allocated ``state`` arrays as shape/dtype
+    templates, so ``program.initial_values`` is never re-invoked.  The
+    same ``alloc`` hook as :func:`allocate_state` applies: the process
+    backend allocates scratch in shared memory because the minimize-mode
+    ``dirty`` masks are read across workers during the down phase.
+    """
+    if program.mode == MINIMIZE:
+        dirty = [
+            alloc(w, "dirty", np.zeros(local.num_vertices, dtype=bool))
+            for w, local in enumerate(dgraph.locals)
+        ]
+        return ExchangeScratch(dirty=dirty)
+    sums = [
+        alloc(w, "sums", np.zeros_like(state.values[w]))
+        for w in range(dgraph.num_workers)
+    ]
+    return ExchangeScratch(sums=sums)
+
+
+class SharedArraySession(BackendSession):
+    """Base for in-process sessions whose workers share the heap arrays.
+
+    Owns the state, the scratch, and the once-per-run :class:`RoutePlan`,
+    and provides the per-worker stage thunks the serial backend calls
+    inline and the thread backend submits to its pool.  Subclasses
+    decide only *how* the thunks run; *what* they run is the shared
+    kernels in :mod:`repro.runtime.worker`, which is what keeps every
+    backend bit-identical.
+    """
+
+    def __init__(self, dgraph: DistributedGraph, program: SubgraphProgram):
+        self._dgraph = dgraph
+        self._program = program
+        self.state = allocate_state(dgraph, program)
+        self._scratch = allocate_scratch(dgraph, program, self.state)
+        self._plan = build_route_plan(dgraph)
+
+    # -- per-worker stage thunks ---------------------------------------
+
+    def _compute_one(self, w: int, superstep: int) -> float:
+        state = self.state
+        return superstep_compute(
+            self._program,
+            self._dgraph.locals[w],
+            state.values[w],
+            state.active[w] if state.active is not None else None,
+            state.changed[w],
+            state.partials[w] if state.partials is not None else None,
+            superstep,
+        )
+
+    def _exchange_up_one(self, w: int) -> Tuple[np.ndarray, float]:
+        state, scratch = self.state, self._scratch
+        return superstep_exchange_up(
+            self._program,
+            self._dgraph.locals[w],
+            w,
+            self._plan.inbound_up[w],
+            state.values,
+            state.changed,
+            state.active[w] if state.active is not None else None,
+            scratch.dirty[w] if scratch.dirty is not None else None,
+            state.partials,
+            scratch.sums[w] if scratch.sums is not None else None,
+        )
+
+    def _exchange_down_one(self, w: int) -> np.ndarray:
+        state, scratch = self.state, self._scratch
+        return superstep_exchange_down(
+            self._program,
+            self._dgraph.locals[w],
+            w,
+            self._plan.inbound_down[w],
+            state.values,
+            state.active[w] if state.active is not None else None,
+            scratch.dirty,
+        )

@@ -1,15 +1,19 @@
 """Process-pool backend: persistent workers over shared memory.
 
 The real-parallelism backend.  Each BSP worker is one long-lived
-``multiprocessing`` child that receives its :class:`LocalSubgraph` and
-program exactly once (pickled through its command pipe at session
-start) and holds them for the whole run.  The per-worker value, active,
-changed and partial arrays live in ``multiprocessing.shared_memory``
-blocks mapped by both sides, so masters and mirrors exchange replica
-values with zero per-superstep pickling: children mutate the arrays in
-place during compute, the parent runs the replica exchange directly on
-the same memory, and the only per-superstep pipe traffic is one
-("compute" → work-units) round trip per worker — the BSP barrier.
+``multiprocessing`` child that receives its
+:class:`LocalSubgraph`, program and inbound route slices exactly once
+(pickled through its command pipe at session start) and holds them for
+the whole run.  The per-worker value, active, changed, partial and
+exchange-scratch arrays live in ``multiprocessing.shared_memory``
+blocks mapped by *both* sides and by *every* child, so both superstep
+stages run in the children with zero per-superstep pickling: children
+mutate their own arrays in place during compute, pull their inbound
+replica updates straight out of the other workers' arrays during the
+exchange phases, and the only per-superstep pipe traffic is one small
+command → result round trip per worker per stage phase — the BSP
+barriers ("compute" → work units, "exchange_up" → pull tallies + delta,
+"exchange_down" → pull tallies).
 
 Crash containment: a child that raises ships its formatted traceback
 back through the pipe and the parent raises :class:`BackendError`; a
@@ -32,9 +36,19 @@ import numpy as np
 
 from ..bsp.distributed import DistributedGraph
 from ..bsp.program import SubgraphProgram
-from .base import Backend, BackendError, BackendSession, WorkerState, allocate_state
+from .base import (
+    Backend,
+    BackendError,
+    BackendSession,
+    ExchangeResult,
+    WorkerState,
+    allocate_scratch,
+    allocate_state,
+    assemble_exchange,
+    build_route_plan,
+)
 from .shm import SharedArraySpec, attach_shared_array, create_shared_array, destroy_shared_array
-from .worker import superstep_compute
+from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
 
 __all__ = ["ProcessBackend"]
 
@@ -45,41 +59,71 @@ _JOIN_TIMEOUT = 5.0
 
 
 def _worker_main(conn) -> None:
-    """Child entry point: map shared arrays, then serve compute commands."""
+    """Child entry point: map shared arrays, then serve stage commands."""
     shms = []
     try:
         cmd, payload = conn.recv()
         if cmd != "init":  # pragma: no cover - protocol guard
             conn.send(("error", f"expected 'init', got {cmd!r}"))
             return
-        local, program, specs = payload
-        arrays: Dict[str, np.ndarray] = {}
-        for kind, spec in specs.items():
-            shm, arr = attach_shared_array(spec)
-            shms.append(shm)
-            arrays[kind] = arr
+        worker_id, local, program, inbound_up, inbound_down, spec_table = payload
+        # Map every worker's blocks: the exchange phases read the other
+        # workers' values/changed/partials/dirty arrays directly.
+        tables: List[Dict[str, np.ndarray]] = []
+        for specs in spec_table:
+            arrays: Dict[str, np.ndarray] = {}
+            for kind, spec in specs.items():
+                shm, arr = attach_shared_array(spec)
+                shms.append(shm)
+                arrays[kind] = arr
+            tables.append(arrays)
+        values = [t["values"] for t in tables]
+        changed = [t["changed"] for t in tables]
+        partials = [t["partials"] for t in tables] if "partials" in tables[0] else None
+        dirty = [t["dirty"] for t in tables] if "dirty" in tables[0] else None
+        own = tables[worker_id]
+        active = own.get("active")
+        sums = own.get("sums")
         conn.send(("ready", None))
         while True:
             cmd, payload = conn.recv()
             if cmd == "stop":
                 break
-            if cmd != "compute":  # pragma: no cover - protocol guard
-                conn.send(("error", f"unknown command {cmd!r}"))
-                continue
             try:
-                work = superstep_compute(
-                    program,
-                    local,
-                    arrays["values"],
-                    arrays.get("active"),
-                    arrays["changed"],
-                    arrays.get("partials"),
-                    int(payload),
-                )
+                if cmd == "compute":
+                    result = superstep_compute(
+                        program,
+                        local,
+                        values[worker_id],
+                        active,
+                        changed[worker_id],
+                        partials[worker_id] if partials is not None else None,
+                        int(payload),
+                    )
+                elif cmd == "exchange_up":
+                    result = superstep_exchange_up(
+                        program,
+                        local,
+                        worker_id,
+                        inbound_up,
+                        values,
+                        changed,
+                        active,
+                        dirty[worker_id] if dirty is not None else None,
+                        partials,
+                        sums,
+                    )
+                elif cmd == "exchange_down":
+                    result = superstep_exchange_down(
+                        program, local, worker_id, inbound_down, values, active, dirty
+                    )
+                else:  # pragma: no cover - protocol guard
+                    conn.send(("error", f"unknown command {cmd!r}"))
+                    continue
             except BaseException:
                 conn.send(("error", traceback.format_exc()))
             else:
-                conn.send(("ok", work))
+                conn.send(("ok", result))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     finally:
@@ -147,6 +191,10 @@ class _ProcessSession(BackendSession):
 
         try:
             self.state: WorkerState = allocate_state(dgraph, program, shared_alloc)
+            # Exchange scratch shares the same blocks: the minimize-mode
+            # dirty masks are read across children during the down phase.
+            self._scratch = allocate_scratch(dgraph, program, self.state, shared_alloc)
+            plan = build_route_plan(dgraph)
             for w in range(p):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
@@ -159,8 +207,21 @@ class _ProcessSession(BackendSession):
                 child_conn.close()
                 self._processes.append(proc)
                 self._conns.append(parent_conn)
+                # Everything a child holds for the whole run travels in
+                # this one message: its subgraph, the program, its slice
+                # of the route plan, and the full shared-array table.
                 parent_conn.send(
-                    ("init", (dgraph.locals[w], program, self._specs[w]))
+                    (
+                        "init",
+                        (
+                            w,
+                            dgraph.locals[w],
+                            program,
+                            plan.inbound_up[w],
+                            plan.inbound_down[w],
+                            self._specs,
+                        ),
+                    )
                 )
             for w in range(p):
                 self._expect(w, "ready", timeout=_INIT_TIMEOUT)
@@ -191,19 +252,37 @@ class _ProcessSession(BackendSession):
             raise BackendError(f"worker {w}: expected {expected!r}, got {status!r}")
         return payload
 
-    def compute_stage(self, superstep: int = 0) -> np.ndarray:
+    def _broadcast(self, command: str, superstep: int) -> None:
+        """Send one stage command to every worker."""
         if not self._finalizer.alive:
             raise BackendError("session is closed")
-        p = len(self._conns)
-        work = np.zeros(p)
         for conn in self._conns:
             try:
-                conn.send(("compute", superstep))
+                conn.send((command, superstep))
             except (BrokenPipeError, OSError) as exc:
                 raise BackendError(f"worker pool is down: {exc}") from exc
+
+    def compute_stage(self, superstep: int = 0) -> np.ndarray:
+        p = len(self._conns)
+        work = np.zeros(p)
+        self._broadcast("compute", superstep)
         for w in range(p):
             work[w] = self._expect(w, "ok")
         return work
+
+    def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
+        p = len(self._conns)
+        self._broadcast("exchange_up", superstep)
+        # Collecting every up reply before sending any down command is
+        # the mandatory mid-exchange barrier: the down phase reads
+        # master values and dirty masks the up phase writes in *other*
+        # children.
+        ups = [self._expect(w, "ok") for w in range(p)]
+        self._broadcast("exchange_down", superstep)
+        downs = [self._expect(w, "ok") for w in range(p)]
+        return assemble_exchange(
+            [counts for counts, _ in ups], downs, [delta for _, delta in ups]
+        )
 
     def close(self) -> None:
         if self._finalizer.alive:

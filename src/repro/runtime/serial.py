@@ -1,9 +1,10 @@
-"""The serial reference backend: today's in-process loop, made explicit.
+"""The serial reference backend: both superstep stages, inline.
 
-Runs every worker's computation stage sequentially in the calling
-process.  This is the ground truth the parallel backends are tested
-against, and the baseline ``benchmarks/bench_runtime.py`` measures
-speedups over.
+Runs every worker's computation stage, then every worker's exchange
+phases, sequentially in the calling process — worker 0 through p-1, up
+phase before down phase.  This is the ground truth the parallel
+backends are tested against (the bit-identity oracle), and the baseline
+``benchmarks/bench_runtime.py`` measures speedups over.
 """
 
 from __future__ import annotations
@@ -12,34 +13,33 @@ import numpy as np
 
 from ..bsp.distributed import DistributedGraph
 from ..bsp.program import SubgraphProgram
-from .base import Backend, BackendSession, allocate_state
-from .worker import superstep_compute
+from .base import (
+    Backend,
+    BackendSession,
+    ExchangeResult,
+    SharedArraySession,
+    assemble_exchange,
+)
 
 __all__ = ["SerialBackend"]
 
 
-class _SerialSession(BackendSession):
+class _SerialSession(SharedArraySession):
     backend_name = "serial"
 
-    def __init__(self, dgraph: DistributedGraph, program: SubgraphProgram):
-        self._dgraph = dgraph
-        self._program = program
-        self.state = allocate_state(dgraph, program)
-
     def compute_stage(self, superstep: int = 0) -> np.ndarray:
-        state = self.state
-        work = np.zeros(self._dgraph.num_workers)
-        for w, local in enumerate(self._dgraph.locals):
-            work[w] = superstep_compute(
-                self._program,
-                local,
-                state.values[w],
-                state.active[w] if state.active is not None else None,
-                state.changed[w],
-                state.partials[w] if state.partials is not None else None,
-                superstep,
-            )
-        return work
+        p = self._dgraph.num_workers
+        return np.array([self._compute_one(w, superstep) for w in range(p)])
+
+    def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
+        p = self._dgraph.num_workers
+        ups = [self._exchange_up_one(w) for w in range(p)]
+        # The sequential loop is itself the up/down barrier: every
+        # worker's up phase has run before the first down phase starts.
+        downs = [self._exchange_down_one(w) for w in range(p)]
+        return assemble_exchange(
+            [counts for counts, _ in ups], downs, [delta for _, delta in ups]
+        )
 
 
 class SerialBackend(Backend):

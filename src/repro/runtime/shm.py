@@ -15,11 +15,14 @@ Cleanup is belt-and-braces: :func:`destroy_shared_array` swallows
 "already gone" errors so session teardown is idempotent even after a
 worker crash.
 
-Because parent and children map the *same* blocks, a checkpoint
-restore (:func:`repro.checkpoint.restore_state`) needs no shm-specific
-code: the engine copies snapshot arrays through the parent's views and
-every child observes the restored state exactly as it observes the
-parent's replica-exchange writes.
+Because parent and children map the *same* blocks, two things come for
+free.  Checkpoint restore (:func:`repro.checkpoint.restore_state`)
+needs no shm-specific code: the engine copies snapshot arrays through
+the parent's views and every child observes the restored state exactly
+as it observes its siblings' compute-stage writes.  And the worker-side
+replica exchange needs no inter-child messaging: every child maps every
+worker's blocks, so an exchange phase is just each child pulling from
+its siblings' arrays through memory the parent allocated once.
 """
 
 from __future__ import annotations

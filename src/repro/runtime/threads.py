@@ -1,12 +1,16 @@
 """Thread-pool backend: one persistent pool, workers share the arrays.
 
-Worker compute runs on a :class:`concurrent.futures.ThreadPoolExecutor`
-that lives for the whole session (no per-superstep pool churn).  All
-workers operate on the same heap arrays the engine sees, so there is no
-exchange-time copying at all; parallelism comes from numpy releasing
-the GIL inside its bulk kernels.  On pure-Python-heavy programs the GIL
-limits the achievable speedup — the process backend exists for exactly
-that case.
+Both superstep stages run on a
+:class:`concurrent.futures.ThreadPoolExecutor` that lives for the whole
+session (no per-superstep pool churn).  All workers operate on the same
+heap arrays, so the exchange stage needs no copying at all: each worker
+pulls its inbound replica updates straight out of the other workers'
+arrays (see :mod:`repro.runtime.worker` for why the sharded phases are
+race-free), with a barrier between the up and down phases enforced by
+collecting every up future before submitting the first down task.
+Parallelism comes from numpy releasing the GIL inside its bulk kernels;
+on pure-Python-heavy programs the GIL limits the achievable speedup —
+the process backend exists for exactly that case.
 """
 
 from __future__ import annotations
@@ -18,13 +22,18 @@ import numpy as np
 
 from ..bsp.distributed import DistributedGraph
 from ..bsp.program import SubgraphProgram
-from .base import Backend, BackendSession, allocate_state
-from .worker import superstep_compute
+from .base import (
+    Backend,
+    BackendSession,
+    ExchangeResult,
+    SharedArraySession,
+    assemble_exchange,
+)
 
 __all__ = ["ThreadBackend"]
 
 
-class _ThreadSession(BackendSession):
+class _ThreadSession(SharedArraySession):
     backend_name = "thread"
 
     def __init__(
@@ -33,24 +42,10 @@ class _ThreadSession(BackendSession):
         program: SubgraphProgram,
         max_workers: Optional[int],
     ):
-        self._dgraph = dgraph
-        self._program = program
-        self.state = allocate_state(dgraph, program)
+        super().__init__(dgraph, program)
         pool_size = dgraph.num_workers if max_workers is None else max_workers
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, pool_size), thread_name_prefix="repro-bsp"
-        )
-
-    def _compute_one(self, w: int, superstep: int) -> float:
-        state = self.state
-        return superstep_compute(
-            self._program,
-            self._dgraph.locals[w],
-            state.values[w],
-            state.active[w] if state.active is not None else None,
-            state.changed[w],
-            state.partials[w] if state.partials is not None else None,
-            superstep,
         )
 
     def compute_stage(self, superstep: int = 0) -> np.ndarray:
@@ -60,6 +55,22 @@ class _ThreadSession(BackendSession):
         ]
         # future.result() re-raises worker exceptions in submission order.
         return np.array([f.result() for f in futures])
+
+    def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
+        p = self._dgraph.num_workers
+        up_futures = [self._pool.submit(self._exchange_up_one, w) for w in range(p)]
+        # Collecting every up result before submitting any down task is
+        # the mandatory mid-exchange barrier: the down phase reads
+        # master values and dirty masks the up phase writes on *other*
+        # workers.
+        ups = [f.result() for f in up_futures]
+        down_futures = [
+            self._pool.submit(self._exchange_down_one, w) for w in range(p)
+        ]
+        downs = [f.result() for f in down_futures]
+        return assemble_exchange(
+            [counts for counts, _ in ups], downs, [delta for _, delta in ups]
+        )
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

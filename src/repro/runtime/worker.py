@@ -1,25 +1,62 @@
-"""The per-worker computation-stage kernel every backend executes.
+"""The per-worker superstep kernels every backend executes.
 
 This is the single definition of what "one worker's computation stage"
-means — the serial backend calls it inline, the thread backend calls it
-from pool threads, and the process backend calls it inside persistent
-child processes.  Centralizing the gating rule (skip workers with no
-active vertices) and the activation rule (reactivate changed vertices
-or clear, per ``program.reactivate_changed``) is what guarantees all
-backends produce bit-identical results: they run *this* function per
-worker and nothing else.
+and "one worker's slice of the replica exchange" mean — the serial
+backend calls these inline, the thread backend calls them from pool
+threads, and the process backend calls them inside persistent child
+processes.  Centralizing the gating rule (skip workers with no active
+vertices), the activation rule (reactivate changed vertices or clear,
+per ``program.reactivate_changed``) and the exchange pull order is what
+guarantees all backends produce bit-identical results: they run *these*
+functions per worker and nothing else.
+
+The exchange stage is sharded by destination worker and split into two
+pull phases with a barrier between them (see
+:class:`repro.runtime.base.RoutePlan`):
+
+``superstep_exchange_up``
+    Worker ``w`` pulls every changed mirror value aimed at its masters
+    from the sending workers' arrays.  Minimize mode folds them in with
+    ``min`` and marks improved masters dirty; accumulate mode sums the
+    inbound partials and applies ``program.apply`` to its own masters.
+    Writes touch only worker ``w``'s arrays — mirror reads on other
+    workers are stable because compute has already barriered.
+
+``superstep_exchange_down``
+    Worker ``w`` pulls the (dirty, in minimize mode) master values for
+    its mirrors from the owning workers' arrays.  Requires every
+    worker's up phase to have finished first: it reads master values
+    and dirty masks the up phase writes.
+
+Write-disjointness is what makes the sharding race-free: within either
+phase, worker ``w`` writes only master positions (up) or only mirror
+positions (down) of its *own* arrays, while other workers read the
+complementary positions — no element is ever read and written by
+different workers in the same phase.
+
+Both phases return exact per-source message tallies (a message pulled
+by ``w`` from ``src`` was "sent" by ``src`` and "received" by ``w``);
+:func:`repro.runtime.base.assemble_exchange` folds them into the global
+per-worker sent/received arrays the cost model consumes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..bsp.distributed import LocalSubgraph
+from ..bsp.distributed import LocalSubgraph, _Route
 from ..bsp.program import ACCUMULATE, SubgraphProgram
 
-__all__ = ["superstep_compute"]
+__all__ = [
+    "superstep_compute",
+    "superstep_exchange_up",
+    "superstep_exchange_down",
+]
+
+#: one worker's inbound routes: ``(source_worker, route)`` pairs.
+InboundRoutes = Sequence[Tuple[int, _Route]]
 
 
 def superstep_compute(
@@ -64,3 +101,114 @@ def superstep_compute(
     else:
         active[:] = False
     return work
+
+
+def superstep_exchange_up(
+    program: SubgraphProgram,
+    local: LocalSubgraph,
+    worker_id: int,
+    inbound: InboundRoutes,
+    values: List[np.ndarray],
+    changed: List[np.ndarray],
+    active: Optional[np.ndarray],
+    dirty: Optional[np.ndarray],
+    partials: Optional[List[np.ndarray]],
+    sums: Optional[np.ndarray],
+) -> Tuple[np.ndarray, float]:
+    """Pull changed mirror values into this worker's masters, in place.
+
+    ``values``/``changed``/``partials`` are *all* workers' arrays (this
+    worker reads its inbound sources and writes only its own entry);
+    ``active``, ``dirty`` and ``sums`` belong to this worker alone.
+
+    Returns ``(counts, delta)``: ``counts[src]`` is the number of
+    messages pulled from worker ``src``, ``delta`` is this worker's
+    contribution to the accumulate-mode global convergence delta (0.0
+    in minimize mode).
+    """
+    p = len(values)
+    counts = np.zeros(p, dtype=np.int64)
+    own = values[worker_id]
+
+    if program.mode == ACCUMULATE:
+        assert partials is not None and sums is not None
+        sums[:] = partials[worker_id]
+        for src, route in inbound:
+            sel = changed[src][route.src_index]
+            if not sel.any():
+                continue
+            counts[src] += int(sel.sum())
+            np.add.at(
+                sums, route.dst_index[sel], partials[src][route.src_index[sel]]
+            )
+        new_vals = program.apply(local, own, sums)
+        mask = local.is_master
+        delta = float(np.abs(new_vals[mask] - own[mask]).sum())
+        own[mask] = new_vals[mask]
+        return counts, delta
+
+    assert active is not None and dirty is not None
+    # Masters whose value improved this superstep — seeded from the
+    # local compute's change mask, extended by inbound improvements.
+    dirty[:] = changed[worker_id] & local.is_master
+    for src, route in inbound:
+        sel = changed[src][route.src_index]
+        if not sel.any():
+            continue
+        src_idx = route.src_index[sel]
+        dst_idx = route.dst_index[sel]
+        vals = values[src][src_idx]
+        counts[src] += int(sel.sum())
+        better = vals < own[dst_idx]
+        if better.any():
+            np.minimum.at(own, dst_idx[better], vals[better])
+            dirty[dst_idx[better]] = True
+            active[dst_idx[better]] = True
+    return counts, 0.0
+
+
+def superstep_exchange_down(
+    program: SubgraphProgram,
+    local: LocalSubgraph,
+    worker_id: int,
+    inbound: InboundRoutes,
+    values: List[np.ndarray],
+    active: Optional[np.ndarray],
+    dirty: Optional[List[np.ndarray]],
+) -> np.ndarray:
+    """Pull master values into this worker's mirrors, in place.
+
+    Must only run after *every* worker finished
+    :func:`superstep_exchange_up`: it reads master values (and, in
+    minimize mode, the ``dirty`` masks) the up phase writes on other
+    workers.  Each mirror has exactly one master, so the writes of the
+    pulls are disjoint and order-independent.
+
+    Returns the per-source message tally (see
+    :func:`superstep_exchange_up`).
+    """
+    p = len(values)
+    counts = np.zeros(p, dtype=np.int64)
+    own = values[worker_id]
+
+    if program.mode == ACCUMULATE:
+        # Full broadcast: every master value refreshes its mirrors.
+        for src, route in inbound:
+            counts[src] += int(route.src_index.shape[0])
+            own[route.dst_index] = values[src][route.src_index]
+        return counts
+
+    assert active is not None and dirty is not None
+    for src, route in inbound:
+        sel = dirty[src][route.src_index]
+        if not sel.any():
+            continue
+        src_idx = route.src_index[sel]
+        dst_idx = route.dst_index[sel]
+        vals = values[src][src_idx]
+        counts[src] += int(sel.sum())
+        better = vals < own[dst_idx]
+        if better.any():
+            own[dst_idx[better]] = vals[better]
+            active[dst_idx[better]] = True
+    return counts

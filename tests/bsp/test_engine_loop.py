@@ -1,0 +1,95 @@
+"""The engine has exactly one superstep loop.
+
+PR 7 collapsed the historical per-mode loops (and with them the
+duplicated fresh-run/resume sequencing) into ``BSPEngine._superstep_loop``.
+These are the regression tests that keep it that way: fresh runs,
+resumed runs, and both program modes must all flow through the same
+loop and the same ``_stats`` construction — a resume differs only in
+its starting boundary, never in which code builds its records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.bsp.engine import BSPEngine as EngineClass
+from repro.graph import powerlaw_graph
+from repro.partition import EBVPartitioner
+from repro.pipeline import APPS
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(220, eta=2.2, min_degree=2, seed=17, name="pl-loop")
+
+
+@pytest.fixture(scope="module")
+def dgraph(graph):
+    return build_distributed_graph(EBVPartitioner().partition(graph, 2))
+
+
+def _spy(monkeypatch, method_name, calls):
+    real = getattr(EngineClass, method_name)
+
+    def wrapper(self, *args, **kwargs):
+        calls.append(method_name)
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(EngineClass, method_name, wrapper)
+
+
+@pytest.mark.parametrize("app", ["cc", "pr"])
+def test_fresh_and_resumed_runs_share_the_loop(
+    tmp_path, graph, dgraph, app, monkeypatch
+):
+    """Both paths call _superstep_loop once; resume replays via _stats."""
+    loop_calls = []
+    _spy(monkeypatch, "_superstep_loop", loop_calls)
+
+    ckpt = tmp_path / f"ck-{app}"
+    engine = BSPEngine(checkpoint_dir=str(ckpt), checkpoint_every=1, checkpoint_keep=None)
+    golden = engine.run(dgraph, APPS.create(app, graph))
+    assert loop_calls == ["_superstep_loop"]
+    assert golden.num_supersteps >= 2, "need >=2 supersteps for a mid-run resume"
+
+    stats_calls = []
+    loop_calls.clear()
+    _spy(monkeypatch, "_stats", stats_calls)
+    resume_point = ckpt / "step-000001"
+    resumed = BSPEngine().run(dgraph, APPS.create(app, graph), resume_from=str(resume_point))
+
+    # The resume went through the same single loop...
+    assert loop_calls == ["_superstep_loop"]
+    # ...and every replayed superstep's record came out of _stats.
+    assert len(stats_calls) == resumed.num_supersteps - 1
+    assert resumed.resumed_from == 1
+    assert np.array_equal(resumed.values, golden.values, equal_nan=True)
+    for step, (a, b) in enumerate(zip(resumed.supersteps, golden.supersteps)):
+        for fieldname in ("work", "sent", "received", "comp_seconds", "comm_seconds"):
+            assert np.array_equal(getattr(a, fieldname), getattr(b, fieldname)), (
+                step,
+                fieldname,
+            )
+
+
+def test_both_modes_share_the_loop(graph, dgraph, monkeypatch):
+    """Minimize and accumulate programs execute the identical loop."""
+    calls = []
+    _spy(monkeypatch, "_superstep_loop", calls)
+    BSPEngine().run(dgraph, APPS.create("cc", graph))
+    BSPEngine().run(dgraph, APPS.create("pr", graph))
+    assert calls == ["_superstep_loop", "_superstep_loop"]
+
+
+def test_resumed_finished_run_builds_no_new_stats(tmp_path, graph, dgraph, monkeypatch):
+    """Resuming a done run replays nothing through the loop's stats path."""
+    ckpt = tmp_path / "ck-done"
+    engine = BSPEngine(checkpoint_dir=str(ckpt), checkpoint_keep=None)
+    golden = engine.run(dgraph, APPS.create("cc", graph))
+
+    stats_calls = []
+    _spy(monkeypatch, "_stats", stats_calls)
+    resumed = BSPEngine().run(dgraph, APPS.create("cc", graph), resume_from=str(ckpt))
+    assert stats_calls == []
+    assert resumed.num_supersteps == golden.num_supersteps
+    assert np.array_equal(resumed.values, golden.values)

@@ -1,0 +1,101 @@
+"""Crash injection inside the worker-side exchange stage.
+
+The exchange stage now runs in the process backend's children, so a
+worker can die *mid-exchange* — after the compute barrier, with changed
+masks and partials already published but the pull phases incomplete.
+The contract is unchanged from every other crash point: the coordinator
+must fail loudly (:class:`~repro.runtime.BackendError`), never publish
+a half-exchanged result, and the snapshots written at earlier superstep
+boundaries must resume to a run bit-identical to the golden
+uninterrupted one.
+
+The injection wraps the process backend so that at a chosen superstep a
+SIGKILL lands on one worker child right as the exchange stage begins —
+the in-process analogue of the ``test_sigkill_integration`` subprocess
+test, precise enough to target the exchange stage specifically.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPEngine
+from repro.checkpoint import list_snapshots
+from repro.pipeline import APPS
+from repro.runtime import Backend, BackendError, ProcessBackend
+
+
+class _KillDuringExchange(Backend):
+    """Process backend that SIGKILLs one child as exchange N starts."""
+
+    name = "process"
+
+    def __init__(self, kill_at_superstep: int):
+        self._inner = ProcessBackend()
+        self._kill_at = kill_at_superstep
+
+    def session(self, dgraph, program):
+        session = self._inner.session(dgraph, program)
+        real_exchange = session.exchange_stage
+        kill_at = self._kill_at
+
+        def exchange_with_kill(superstep: int = 0):
+            if superstep == kill_at:
+                victim = session._processes[-1]
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=30)
+            return real_exchange(superstep)
+
+        session.exchange_stage = exchange_with_kill
+        return session
+
+
+@pytest.mark.parametrize("app", ["cc", "pr"])
+@pytest.mark.parametrize("p", [2, 4])
+def test_sigkill_during_exchange_then_resume_is_bit_identical(
+    tmp_path, ckpt_graph, ckpt_dgraphs, assert_runs_identical, app, p
+):
+    dgraph = ckpt_dgraphs[p]
+    golden = BSPEngine().run(dgraph, APPS.create(app, ckpt_graph))
+    kill_at = 1
+    assert golden.num_supersteps > kill_at, "crash point must be mid-run"
+
+    ckpt = tmp_path / f"ck-{app}-{p}"
+    engine = BSPEngine(
+        backend=_KillDuringExchange(kill_at),
+        checkpoint_dir=str(ckpt),
+        checkpoint_every=1,
+        checkpoint_keep=None,
+    )
+    with pytest.raises(BackendError, match="died unexpectedly|worker pool is down"):
+        engine.run(dgraph, APPS.create(app, ckpt_graph))
+
+    # Only boundaries strictly before the killed exchange were written.
+    snapshots = list_snapshots(str(ckpt))
+    assert snapshots, "no snapshot survived the mid-exchange crash"
+    boundaries = [int(os.path.basename(path).split("-")[1]) for path in snapshots]
+    assert max(boundaries) == kill_at
+
+    resumed = BSPEngine().run(
+        dgraph, APPS.create(app, ckpt_graph), resume_from=str(ckpt)
+    )
+    assert resumed.resumed_from == kill_at
+    assert_runs_identical(resumed, golden)
+
+
+def test_killed_exchange_worker_does_not_poison_later_sessions(
+    ckpt_graph, ckpt_dgraphs
+):
+    """After a mid-exchange kill, a fresh session on the same backend works."""
+    dgraph = ckpt_dgraphs[2]
+    backend = _KillDuringExchange(kill_at_superstep=0)
+    with pytest.raises(BackendError):
+        BSPEngine(backend=backend).run(dgraph, APPS.create("cc", ckpt_graph))
+    # The wrapper kills at superstep 0 of *every* session, so run the
+    # retry on a plain process backend: the point is that the crashed
+    # session's teardown left shared memory and children cleaned up.
+    run = BSPEngine(backend="process").run(dgraph, APPS.create("cc", ckpt_graph))
+    ref = BSPEngine().run(dgraph, APPS.create("cc", ckpt_graph))
+    assert np.array_equal(run.values, ref.values)

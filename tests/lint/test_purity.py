@@ -56,6 +56,62 @@ class TestFires:
         assert "poke" in report.findings[0].message
 
 
+class TestExchangeStageAllowance:
+    """Regression: sessions now *really* implement ``exchange_stage``.
+
+    Since PR 7 the exchange stage is a backend responsibility, so the
+    rule's stage allowance is load-bearing: state writes inside
+    ``exchange_stage`` must pass, while the same write in any sibling
+    helper (the shape a botched refactor would naturally produce —
+    e.g. an exchange helper that skips the stage method) must fire.
+    """
+
+    def test_real_session_shape_passes_and_helper_write_fires(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/twostage.py": """\
+                import numpy as np
+
+                from repro.runtime.base import BackendSession, allocate_state
+
+
+                class _TwoStageSession(BackendSession):
+                    def __init__(self, dgraph, program):
+                        self.state = allocate_state(dgraph, program)
+
+                    def compute_stage(self, superstep=0):
+                        self.state.changed[0][:] = False
+                        return np.zeros(1)
+
+                    def exchange_stage(self, superstep=0):
+                        # Worker-side pull: exchange writes are stage writes.
+                        self.state.values[0][:] = self.state.values[1][:1]
+                        self.state.active[0][:] = True
+                        return None
+
+                    def _exchange_helper(self):
+                        # Identical write outside the stage methods: flagged.
+                        self.state.values[0][:] = 0.0
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["worker-purity"]
+        assert "_exchange_helper" in report.findings[0].message
+        assert "exchange_stage" not in report.findings[0].message.split("(")[0]
+
+    def test_shipped_sessions_are_clean(self):
+        """The real runtime/ sessions implement exchange_stage lint-clean."""
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        report = run_lint(src, rule_ids=RULE, use_cache=False)
+        offenders = [f for f in report.findings if f.rule == "worker-purity"]
+        assert offenders == []
+
+
 class TestQuiet:
     def test_stage_methods_may_write(self, lint_tree):
         report = lint_tree(

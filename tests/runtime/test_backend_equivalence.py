@@ -64,11 +64,18 @@ def test_backend_matches_serial_reference(
     assert run.values.shape == ref.values.shape
     assert np.array_equal(run.values, ref.values, equal_nan=True)
     # The deterministic cost-model accounting (paper artifacts) and the
-    # exact message tallies must be backend-independent too.
+    # exact message tallies must be backend-independent too — including
+    # the per-superstep load-imbalance term ΔC_k now that the exchange
+    # tallies are assembled from worker-side pulls.
     for step, (got, want) in enumerate(zip(run.supersteps, ref.supersteps)):
         assert np.array_equal(got.work, want.work), f"superstep {step}"
         assert np.array_equal(got.sent, want.sent), f"superstep {step}"
         assert np.array_equal(got.received, want.received), f"superstep {step}"
+        assert np.array_equal(got.comp_seconds, want.comp_seconds), f"superstep {step}"
+        assert np.array_equal(got.comm_seconds, want.comm_seconds), f"superstep {step}"
+        assert got.delta_c == want.delta_c, f"superstep {step}"
+    assert run.delta_c == ref.delta_c
+    assert run.total_messages == ref.total_messages
 
 
 @pytest.mark.parametrize("backend", BACKEND_NAMES)
