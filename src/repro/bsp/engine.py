@@ -38,11 +38,12 @@ uninterrupted one on every backend — see :mod:`repro.checkpoint`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic_ns
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, sample_peak_rss_kb
 from .cost_model import CostModel
 from .distributed import DistributedGraph
 from .program import ACCUMULATE, MINIMIZE, SubgraphProgram
@@ -56,8 +57,9 @@ class SuperstepStats:
 
     ``comp_seconds``/``comm_seconds`` are the deterministic cost-model
     clocks; ``real_seconds`` maps stage name (``"compute"``,
-    ``"exchange"``) to measured wall-clock for this superstep on the
-    executing backend.
+    ``"exchange"``, ``"converge"`` — the third key is the coordinator's
+    quiescence/convergence checking) to measured wall-clock for this
+    superstep on the executing backend.
     """
 
     work: np.ndarray
@@ -210,6 +212,13 @@ class BSPEngine:
         written when the run terminates.
     checkpoint_keep:
         Retain only the newest ``n`` snapshots (``None`` keeps all).
+    recorder:
+        Optional :class:`repro.obs.TraceRecorder`.  When attached, the
+        engine wraps every superstep, stage and convergence check in
+        spans, the backend session reports per-worker kernel walls into
+        it, and the checkpoint writer records snapshot spans and byte
+        counters.  ``None`` (the default) costs nothing per superstep
+        and perturbs neither results nor cost-model accounting.
     """
 
     def __init__(
@@ -220,6 +229,7 @@ class BSPEngine:
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 1,
         checkpoint_keep: Optional[int] = 2,
+        recorder=None,
     ):
         self.cost_model = cost_model or CostModel()
         self.max_supersteps = max_supersteps
@@ -227,6 +237,7 @@ class BSPEngine:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep = checkpoint_keep
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         if checkpoint_dir is not None:
             # Fail on a bad cadence/retention at construction, not at
             # the first superstep boundary of a long run.
@@ -291,6 +302,7 @@ class BSPEngine:
                     self.checkpoint_dir,
                     every=self.checkpoint_every,
                     keep=self.checkpoint_keep,
+                    recorder=self.recorder,
                 )
             if resume_from is not None:
                 snapshot = load_snapshot(resume_from)
@@ -305,6 +317,11 @@ class BSPEngine:
                 clear_snapshots(self.checkpoint_dir)
 
         with backend.session(dgraph, program) as session:
+            if self.recorder.enabled:
+                # Post-construction attach keeps the session() signature
+                # stable for wrapper backends; sessions default to the
+                # null recorder.
+                session.attach_recorder(self.recorder)
             run = BSPRun(
                 program=program.name,
                 partition_method=dgraph.partition_method,
@@ -346,38 +363,108 @@ class BSPEngine:
         """
         minimize = program.mode == MINIMIZE
         state = session.state
+        rec = session.recorder
         for step in range(run.num_supersteps, self.max_supersteps):
             if resumed_done:
                 break
-            if minimize and not any(bool(a.any()) for a in state.active):
+            step_t0 = monotonic_ns()
+            quiescent = minimize and not any(bool(a.any()) for a in state.active)
+            pre_check_ns = monotonic_ns() - step_t0
+            if quiescent:
                 break  # quiescent before the step: nothing left to do
-            t0 = perf_counter()
-            work = session.compute_stage(step)
-            t_compute = perf_counter() - t0
 
-            t0 = perf_counter()
+            t0 = monotonic_ns()
+            comp = session.compute_stage(step)
+            t1 = monotonic_ns()
+            t_compute = (t1 - t0) * 1e-9
+            if rec.enabled:
+                rec.add("stage.compute", t0, t1, superstep=step)
+
+            t0 = monotonic_ns()
             exchange = session.exchange_stage(step)
-            t_exchange = perf_counter() - t0
+            t1 = monotonic_ns()
+            t_exchange = (t1 - t0) * 1e-9
+            if rec.enabled:
+                rec.add("stage.exchange", t0, t1, superstep=step)
+
+            # The convergence check is real coordinator work; the
+            # top-of-loop quiescence pre-check of the *same* superstep is
+            # attributed here too, so "converge" sums to everything the
+            # loop did besides the two stages.
+            t0 = monotonic_ns()
+            if minimize:
+                converged = not any(bool(a.any()) for a in state.active)
+            else:
+                converged = program.has_converged(step, exchange.delta)
+            t1 = monotonic_ns()
+            t_converge = (pre_check_ns + (t1 - t0)) * 1e-9
+            if rec.enabled:
+                rec.add("converge", t0, t1, superstep=step)
+                self._record_superstep_metrics(rec, exchange, state)
 
             run.supersteps.append(
-                self._stats(work, exchange.sent, exchange.received, t_compute, t_exchange)
+                self._stats(
+                    comp.work,
+                    exchange.sent,
+                    exchange.received,
+                    t_compute,
+                    t_exchange,
+                    t_converge,
+                )
             )
-            if minimize:
-                if not any(bool(a.any()) for a in state.active):
-                    break
-            elif program.has_converged(step, exchange.delta):
+            if converged:
+                if rec.enabled:
+                    rec.add("superstep", step_t0, monotonic_ns(), superstep=step,
+                            cat="superstep")
                 break
             ckpt.boundary(run)
+            if rec.enabled:
+                # Closed after the checkpoint boundary so the snapshot
+                # span (if any) nests inside its superstep.
+                rec.add("superstep", step_t0, monotonic_ns(), superstep=step,
+                        cat="superstep")
         if not resumed_done:
             # A resumed-finished run replayed nothing; its done snapshot
             # is already on disk and need not be rewritten.
             ckpt.finalize(run)
-        run.values = dgraph.gather_master_values(
-            state.values, default=0 if minimize else 0.0
-        )
+        with rec.span("gather"):
+            run.values = dgraph.gather_master_values(
+                state.values, default=0 if minimize else 0.0
+            )
+        if rec.enabled:
+            rss = sample_peak_rss_kb()
+            if rss is not None:
+                rec.metrics.gauge("rss.peak_kb").sample(rss)
         return run
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record_superstep_metrics(rec, exchange, state) -> None:
+        """Fold one superstep's tallies into the recorder's metrics.
+
+        Runs once per traced superstep, so it avoids per-element numpy
+        scalar conversions: one ``tolist`` per tally array and
+        ``count_nonzero`` (cheaper than ``.sum()`` on bool arrays) keep
+        the traced path inside the bench_runtime overhead budget.  Peak
+        RSS is *not* sampled here — it is a high-water mark, so the
+        single end-of-run sample in the loop equals the max of
+        per-superstep samples.
+        """
+        metrics = rec.metrics
+        sent = metrics.counter("messages.sent")
+        received = metrics.counter("messages.received")
+        changed = metrics.counter("vertices.changed")
+        sent_counts = exchange.sent.tolist()
+        received_counts = exchange.received.tolist()
+        for w, arr in enumerate(state.changed):
+            sent.inc(sent_counts[w], worker=w)
+            received.inc(received_counts[w], worker=w)
+            changed.inc(int(np.count_nonzero(arr)), worker=w)
+        if state.active is not None:
+            metrics.gauge("vertices.active").sample(
+                float(sum(int(np.count_nonzero(a)) for a in state.active))
+            )
 
     def _stats(
         self,
@@ -386,6 +473,7 @@ class BSPEngine:
         received: np.ndarray,
         t_compute: float,
         t_exchange: float,
+        t_converge: float,
     ) -> SuperstepStats:
         comp = self.cost_model.seconds_per_work_unit * work + self.cost_model.superstep_overhead
         comm = self.cost_model.seconds_per_message * (sent + received).astype(np.float64)
@@ -395,7 +483,11 @@ class BSPEngine:
             received=received,
             comp_seconds=comp,
             comm_seconds=comm,
-            real_seconds={"compute": t_compute, "exchange": t_exchange},
+            real_seconds={
+                "compute": t_compute,
+                "exchange": t_exchange,
+                "converge": t_converge,
+            },
         )
 
 

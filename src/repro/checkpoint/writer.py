@@ -19,10 +19,12 @@ worker without a single extra pickle.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..obs import NULL_RECORDER
 from .store import CheckpointError, write_snapshot
 
 __all__ = ["CheckpointWriter", "restore_state", "state_arrays"]
@@ -78,10 +80,29 @@ def restore_state(state, arrays: Dict[str, List[np.ndarray]]) -> None:
             dst[...] = src
 
 
-class CheckpointWriter:
-    """Write snapshots for one engine run at a fixed superstep cadence."""
+def _snapshot_bytes(snapshot_dir: Optional[str]) -> int:
+    """Total on-disk bytes of one snapshot directory (traced runs only)."""
+    if snapshot_dir is None:
+        return 0
+    total = 0
+    for entry in sorted(os.scandir(snapshot_dir), key=lambda e: e.name):
+        if entry.is_file(follow_symlinks=False):
+            total += entry.stat(follow_symlinks=False).st_size
+    return total
 
-    def __init__(self, root: str, every: int = 1, keep: Optional[int] = 2):
+
+class CheckpointWriter:
+    """Write snapshots for one engine run at a fixed superstep cadence.
+
+    An optional :class:`repro.obs.TraceRecorder` turns every snapshot
+    write into a ``ckpt.snapshot`` span plus ``checkpoint.bytes`` /
+    ``checkpoint.snapshots`` counter updates; with the default null
+    recorder nothing is measured and no extra filesystem work happens.
+    """
+
+    def __init__(
+        self, root: str, every: int = 1, keep: Optional[int] = 2, recorder=None
+    ):
         if not isinstance(root, str) or not root:
             raise CheckpointError(f"checkpoint directory must be a path, got {root!r}")
         if isinstance(every, bool) or not isinstance(every, int) or every < 1:
@@ -95,6 +116,7 @@ class CheckpointWriter:
         self.root = root
         self.every = every
         self.keep = keep
+        self.recorder = NULL_RECORDER if recorder is None else recorder
         #: directory of the last snapshot this writer produced, if any.
         self.last_snapshot: Optional[str] = None
 
@@ -115,14 +137,23 @@ class CheckpointWriter:
         """Snapshot if the boundary is due or the run just finished."""
         if not done and not self.due(superstep):
             return None
-        self.last_snapshot = write_snapshot(
-            self.root,
-            superstep=superstep,
-            done=done,
-            fingerprint=fingerprint,
-            meta=meta,
-            arrays=state_arrays(state),
-            supersteps=supersteps,
-            keep=self.keep,
-        )
+        with self.recorder.span(
+            "ckpt.snapshot", superstep=superstep, cat="checkpoint"
+        ):
+            self.last_snapshot = write_snapshot(
+                self.root,
+                superstep=superstep,
+                done=done,
+                fingerprint=fingerprint,
+                meta=meta,
+                arrays=state_arrays(state),
+                supersteps=supersteps,
+                keep=self.keep,
+            )
+        if self.recorder.enabled:
+            metrics = self.recorder.metrics
+            metrics.counter("checkpoint.snapshots").inc()
+            metrics.counter("checkpoint.bytes").inc(
+                _snapshot_bytes(self.last_snapshot)
+            )
         return self.last_snapshot

@@ -10,6 +10,8 @@ Commands
 ``pipeline``         execute a full JSON pipeline spec (see below)
 ``resume``           continue a crashed checkpointed pipeline run
 ``experiment``       regenerate one of the paper's tables/figures
+``trace``            summarize a recorded execution trace (per-worker /
+                     per-stage walls, straggler and imbalance ratios)
 ``lint``             run the domain-aware static-analysis pass (exit 1
                      on any new finding; see :mod:`repro.lint`)
 
@@ -39,6 +41,21 @@ worker pool over shared memory); results are identical on every
 backend, only real wall-clock changes::
 
     python -m repro run graph.txt --app pagerank --backend process
+
+Tracing
+-------
+``run --trace out.trace.json`` (and a pipeline spec's ``"trace"``
+entry) records a structured execution trace: per-worker compute /
+exchange / barrier spans, coordinator stage spans and a metrics
+snapshot (see :mod:`repro.obs`).  A ``.jsonl`` path writes
+line-delimited JSON; any other path writes Chrome trace-event JSON —
+load it at https://ui.perfetto.dev for the per-worker timeline.
+``repro trace out.trace.json`` prints the per-worker/per-stage summary
+with straggler and imbalance ratios.  Tracing never changes results::
+
+    python -m repro run graph.txt --app pagerank --backend process \
+        --trace out.trace.json
+    python -m repro trace out.trace.json
 
 Pipeline specs
 --------------
@@ -231,6 +248,25 @@ def build_parser() -> argparse.ArgumentParser:
             "runtime backend spec (e.g. 'process?start_method=spawn'); "
             f"available: {', '.join(registries.BACKENDS.names())}"
         ),
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record an execution trace here (.jsonl for line-delimited "
+        "JSON, anything else for Perfetto-loadable Chrome trace JSON); "
+        "tracing never changes results",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a recorded execution trace (per-worker/per-stage "
+        "walls, straggler + imbalance ratios)",
+    )
+    trace.add_argument("input", help="trace file written by --trace or a spec's 'trace' entry")
+    trace.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable summary JSON",
     )
 
     pipe = sub.add_parser("pipeline", help="execute a JSON pipeline spec")
@@ -431,6 +467,7 @@ def _cmd_run(args) -> int:
             .partition(args.method, parts=args.workers)
             .run(args.app, **overrides)
             .backend(args.backend)
+            .trace(args.trace)
             .execute()
         )
     except (SpecError, RegistryError) as exc:
@@ -452,6 +489,27 @@ def _cmd_run(args) -> int:
         reached = int(np.isfinite(run.values).sum())
         print(f"reached {reached}/{g.num_vertices} vertices from source "
               f"{args.source if args.source is not None else default_source(g)}")
+    if result.trace_path is not None:
+        print(f"trace written to {result.trace_path} "
+              f"(inspect with: python -m repro trace {result.trace_path})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import dataclasses as _dc
+
+    from .obs import load_trace, render_trace_summary, summarize_trace
+
+    try:
+        trace = load_trace(args.input)
+        summary = summarize_trace(trace)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(_dc.asdict(summary), indent=2, sort_keys=True))
+    else:
+        print(render_trace_summary(summary))
     return 0
 
 
@@ -595,6 +653,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pipeline": _cmd_pipeline,
         "resume": _cmd_resume,
         "experiment": _cmd_experiment,
+        "trace": _cmd_trace,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)

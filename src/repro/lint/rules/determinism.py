@@ -14,7 +14,11 @@ kernel/app/partitioner packages:
 * **wall-clock reads** — ``time.time()``, ``datetime.now()`` and
   friends, plus ``uuid.uuid4``/``os.urandom``.  Interval timing via
   ``perf_counter``/``monotonic`` is *not* flagged: measured stage walls
-  are recorded output, never an input to results.
+  are recorded output, never an input to results.  A short audited
+  allowlist (:data:`WALL_CLOCK_EXEMPTIONS`) admits individual calls
+  whose value is provably recorded metadata — each entry names the
+  exact module and call and states why it can never feed a result;
+  anything not on the list is flagged as usual.
 * **iteration over unordered sets** — ``for x in set(...)``,
   comprehensions over set expressions, and ``list()``/``tuple()``/
   ``enumerate()`` of a set: the iteration order is interpreter-
@@ -34,7 +38,10 @@ from ._util import attr_chain
 
 __all__ = ["DeterminismRule"]
 
-#: packages whose modules feed results (not just reports/plots).
+#: packages whose modules feed results (not just reports/plots).  The
+#: obs package is included deliberately: the trace recorder runs inside
+#: every traced superstep, so a wall-clock read there is one audited
+#: exemption away from leaking into an artifact.
 HOT_PREFIXES = (
     "apps/",
     "partition/",
@@ -44,7 +51,20 @@ HOT_PREFIXES = (
     "checkpoint/",
     "graph/",
     "frameworks/",
+    "obs/",
 )
+
+#: audited wall-clock/entropy exemptions: ``(module rel path, dotted
+#: call)`` -> why this specific value can never influence a result.
+#: Grow this list only with a matching justification; the lint tests
+#: pin both the mechanism and the current contents.
+WALL_CLOCK_EXEMPTIONS = {
+    ("obs/trace.py", "time.time"): (
+        "trace-header wall stamp: written once into exported trace "
+        "metadata so a human can date the file; never an input to "
+        "results, fingerprints, or cost accounting"
+    ),
+}
 
 #: np.random attributes that are constructors, not global-state draws.
 _NP_RANDOM_OK = {"default_rng", "Generator", "RandomState", "SeedSequence", "BitGenerator",
@@ -161,6 +181,11 @@ class DeterminismRule(LintRule):
         # are flagged — ``self.date.today()`` is somebody's method.
         rooted = root_module is not None or dotted is not None
         if len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK and rooted:
+            # Resolve through the import alias so ``import time as t;
+            # t.time()`` cannot dodge (or accidentally claim) an exemption.
+            resolved = ".".join((root_module, *chain[1:])) if root_module else ".".join(chain)
+            if (ctx.rel, resolved) in WALL_CLOCK_EXEMPTIONS:
+                return
             yield self.finding(
                 ctx,
                 node,
@@ -172,6 +197,8 @@ class DeterminismRule(LintRule):
         if dotted and len(chain) == 1:
             mod, _, name = dotted.rpartition(".")
             if (mod.rsplit(".", 1)[-1], name) in _WALL_CLOCK:
+                if (ctx.rel, dotted) in WALL_CLOCK_EXEMPTIONS:
+                    return
                 yield self.finding(
                     ctx,
                     node,

@@ -8,7 +8,7 @@ global that works by accident on the fork start method is a silent
 wrong-answer on spawn, and a distributed-correctness bug the moment a
 backend crosses a host boundary (the ROADMAP's RPC backend).
 
-Two checks over every module in ``runtime/``:
+Three checks over every module in ``runtime/``:
 
 * **no module-level mutable globals** — a module-level name bound to a
   list/dict/set (display, comprehension, or constructor call) must not
@@ -21,6 +21,13 @@ Two checks over every module in ``runtime/``:
   ``exchange_stage`` (the two BSP stages).  Any other method mutating
   session arrays is bypassing the superstep contract the checkpoint
   machinery snapshots around.
+* **kernels stay observability-free** — ``runtime/worker.py`` must not
+  import :mod:`repro.obs` (or read a clock; the determinism rule covers
+  that).  Sessions bracket kernel calls with monotonic reads and feed
+  the windows to the attached recorder via ``finish_compute_stage`` /
+  ``finish_exchange_stage``; a recorder reference inside a kernel would
+  have to cross the process-backend pickle boundary and would let
+  tracing perturb the bit-identical hot path.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ __all__ = ["WorkerPurityRule"]
 _SESSION_BASE = "BackendSession"
 #: methods allowed to mutate session arrays (allocation + BSP stages).
 _STAGE_METHODS = {"__init__", "compute_stage", "exchange_stage"}
+#: the shared-kernel module that must never import the obs package.
+_KERNEL_MODULE = "runtime/worker.py"
 _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
 
 
@@ -111,6 +120,8 @@ class WorkerPurityRule(LintRule):
         return ctx.rel.startswith("runtime/") or ctx.rel == "runtime.py"
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.rel == _KERNEL_MODULE:
+            yield from self._check_kernel_obs_free(ctx)
         mutable_globals = _mutable_global_names(ctx.tree)
 
         for node in ast.walk(ctx.tree):
@@ -145,6 +156,31 @@ class WorkerPurityRule(LintRule):
                             "or on the session",
                         )
 
+        yield from self._check_session_classes(ctx)
+
+    def _check_kernel_obs_free(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """The shared-kernel module must not import repro.obs."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                modules = [node.module or ""]
+            else:
+                continue
+            for module in modules:
+                if "obs" in module.split("."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{_KERNEL_MODULE} imports {module or 'obs'!s}; worker "
+                        "kernels must stay observability-free — the session "
+                        "brackets each kernel call with monotonic reads and "
+                        "hands the windows to its attached recorder "
+                        "(finish_compute_stage / finish_exchange_stage)",
+                    )
+                    break
+
+    def _check_session_classes(self, ctx: ModuleContext) -> Iterable[Finding]:
         for cls in _session_classes(ctx.tree):
             for item in cls.body:
                 if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):

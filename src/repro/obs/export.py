@@ -1,0 +1,226 @@
+"""Trace exporters and the matching loader.
+
+Two on-disk forms, chosen by file extension in :func:`write_trace`:
+
+* ``.jsonl`` — one JSON object per line: a header, one ``span`` record
+  per span, and a final ``metrics`` record.  Grep/stream friendly.
+* anything else (conventionally ``.json`` / ``.trace.json``) — Chrome
+  trace-event JSON: complete ``"X"`` duration events on ``pid`` 1 with
+  **one ``tid`` per worker** (worker ``w`` → ``tid w+1``; the
+  coordinator — engine loop, pipeline stages, checkpoint writes — is
+  ``tid`` 0) plus ``"M"`` thread-name metadata.  Load it in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing`` and the compute /
+  exchange / barrier spans render exactly the per-worker Gantt timeline
+  of the paper's Figure 4 — from real execution rather than the cost
+  model.
+
+Timestamps are microseconds relative to the recorder's ``origin_ns``,
+so every trace starts near t=0.  :func:`load_trace` reads either form
+back into one normalized dict (``format``/``meta``/``events``/
+``metrics``) for :mod:`repro.obs.summary` and the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["write_trace", "write_chrome_trace", "write_jsonl_trace", "load_trace"]
+
+_FORMAT = "repro-trace"
+_VERSION = 1
+#: chrome pid all events share (single logical process).
+_PID = 1
+
+
+def _tid(worker: Optional[int]) -> int:
+    """Coordinator spans on tid 0, worker ``w`` on tid ``w + 1``."""
+    return 0 if worker is None else int(worker) + 1
+
+
+def _tid_name(tid: int) -> str:
+    return "coordinator" if tid == 0 else f"worker {tid - 1}"
+
+
+def _header(recorder) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "label": recorder.label,
+        "wall_time": recorder.wall_time,
+        "num_workers": recorder.num_workers(),
+        "num_spans": len(recorder),
+    }
+
+
+def write_trace(recorder, path: str) -> str:
+    """Write ``recorder`` to ``path``; ``.jsonl`` selects JSONL, else Chrome."""
+    if str(path).endswith(".jsonl"):
+        return write_jsonl_trace(recorder, path)
+    return write_chrome_trace(recorder, path)
+
+
+def write_chrome_trace(recorder, path: str) -> str:
+    """Render the recorder as Chrome trace-event JSON (Perfetto-loadable)."""
+    origin = recorder.origin_ns
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+         "args": {"name": f"repro:{recorder.label}"}},
+    ]
+    tids = sorted({_tid(s.worker) for s in recorder.spans()} | {0})
+    for tid in tids:
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+             "args": {"name": _tid_name(tid)}}
+        )
+        events.append(
+            {"name": "thread_sort_index", "ph": "M", "pid": _PID, "tid": tid,
+             "args": {"sort_index": tid}}
+        )
+    for span in recorder.spans():
+        args: Dict[str, Any] = {}
+        if span.superstep is not None:
+            args["superstep"] = span.superstep
+        if span.args:
+            args.update(span.args)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "pid": _PID,
+                "tid": _tid(span.worker),
+                "ts": (span.t0_ns - origin) / 1000.0,
+                "dur": (span.t1_ns - span.t0_ns) / 1000.0,
+                "args": args,
+            }
+        )
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {**_header(recorder), "metrics": recorder.metrics.snapshot()},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return str(path)
+
+
+def write_jsonl_trace(recorder, path: str) -> str:
+    """Render the recorder as line-delimited JSON (header, spans, metrics)."""
+    origin = recorder.origin_ns
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "header", **_header(recorder)}, sort_keys=True))
+        fh.write("\n")
+        for span in recorder.spans():
+            record: Dict[str, Any] = {
+                "type": "span",
+                "name": span.name,
+                "cat": span.cat,
+                "worker": span.worker,
+                "superstep": span.superstep,
+                "ts_us": (span.t0_ns - origin) / 1000.0,
+                "dur_us": (span.t1_ns - span.t0_ns) / 1000.0,
+            }
+            if span.args:
+                record["args"] = span.args
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+        fh.write(
+            json.dumps(
+                {"type": "metrics", "metrics": recorder.metrics.snapshot()},
+                sort_keys=True,
+            )
+        )
+        fh.write("\n")
+    return str(path)
+
+
+def _normalize_chrome(document: Dict[str, Any]) -> Dict[str, Any]:
+    events = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        tid = event["tid"]
+        args = dict(event.get("args") or {})
+        events.append(
+            {
+                "name": event["name"],
+                "cat": event.get("cat", ""),
+                "worker": None if tid == 0 else tid - 1,
+                "superstep": args.pop("superstep", None),
+                "ts_us": float(event["ts"]),
+                "dur_us": float(event["dur"]),
+                "args": args,
+            }
+        )
+    meta = dict(document.get("otherData") or {})
+    metrics = meta.pop("metrics", {})
+    return {"format": "chrome", "meta": meta, "events": events, "metrics": metrics}
+
+
+def _normalize_jsonl(lines: List[Dict[str, Any]]) -> Dict[str, Any]:
+    meta: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    events = []
+    for record in lines:
+        kind = record.get("type")
+        if kind == "header":
+            meta = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "metrics":
+            metrics = record.get("metrics", {})
+        elif kind == "span":
+            events.append(
+                {
+                    "name": record["name"],
+                    "cat": record.get("cat", ""),
+                    "worker": record.get("worker"),
+                    "superstep": record.get("superstep"),
+                    "ts_us": float(record["ts_us"]),
+                    "dur_us": float(record["dur_us"]),
+                    "args": dict(record.get("args") or {}),
+                }
+            )
+    return {"format": "jsonl", "meta": meta, "events": events, "metrics": metrics}
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read a trace file (either exported form) into the normalized dict.
+
+    The result maps ``format`` (``"chrome"``/``"jsonl"``), ``meta`` (the
+    header fields), ``events`` (span dicts with ``name``/``cat``/
+    ``worker``/``superstep``/``ts_us``/``dur_us``/``args``) and
+    ``metrics`` (the registry snapshot).  Raises :class:`ValueError` for
+    files that are neither form.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        return _normalize_chrome(document)
+    # JSONL: every non-empty line must be its own JSON object.
+    lines: List[Dict[str, Any]] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i}: not a trace file ({exc})") from exc
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{i}: expected a JSON object per line")
+        lines.append(record)
+    if not any(r.get("type") == "span" for r in lines) and not any(
+        r.get("type") == "header" for r in lines
+    ):
+        raise ValueError(
+            f"{path}: neither Chrome trace-event JSON (no 'traceEvents') nor "
+            "repro JSONL (no header/span records)"
+        )
+    return _normalize_jsonl(lines)

@@ -1,0 +1,172 @@
+"""Counters and gauges for traced runs, snapshotted deterministically.
+
+The metric *catalog* the runtime/engine/pipeline layers record when
+tracing is enabled (see README § Observability):
+
+==========================  =======  ====================================
+name                        kind     meaning
+==========================  =======  ====================================
+``messages.sent``           counter  replica messages sent, per worker
+``messages.received``       counter  replica messages received, per worker
+``vertices.changed``        counter  vertices changed per superstep, per worker
+``vertices.active``         gauge    active vertices after each superstep
+``checkpoint.bytes``        counter  bytes written by snapshot publishes
+``checkpoint.snapshots``    counter  snapshots written
+``spill.bytes``             counter  bytes spilled by out-of-core partitioning
+``rss.peak_kb``             gauge    peak-RSS samples (coordinator process)
+==========================  =======  ====================================
+
+Counters accumulate; gauges keep the last and the maximum observed
+value.  Both shard by an optional ``worker`` label (``None`` is the
+coordinator/total series).  ``snapshot()`` is sorted by name and label
+so the exported form is byte-stable for a given sequence of updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "sample_peak_rss_kb"]
+
+#: snapshot key for the unlabeled (coordinator/total) series.
+_TOTAL = "total"
+
+
+def _label(worker: Optional[int]) -> str:
+    return _TOTAL if worker is None else f"worker_{worker}"
+
+
+class Counter:
+    """A monotonically accumulating count, optionally sharded by worker."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[str, float] = {}
+
+    def inc(self, value: float = 1, worker: Optional[int] = None) -> None:
+        key = _label(worker)
+        self._values[key] = self._values.get(key, 0) + value
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "counter",
+            "total": self.total(),
+            "series": {k: self._values[k] for k in sorted(self._values)},
+        }
+
+
+class Gauge:
+    """A sampled value; keeps the last and the max per series."""
+
+    __slots__ = ("name", "_last", "_max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._last: Dict[str, float] = {}
+        self._max: Dict[str, float] = {}
+
+    def sample(self, value: float, worker: Optional[int] = None) -> None:
+        key = _label(worker)
+        self._last[key] = value
+        if key not in self._max or value > self._max[key]:
+            self._max[key] = value
+
+    #: alias: ``set`` reads better for state-like gauges.
+    set = sample
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "gauge",
+            "last": {k: self._last[k] for k in sorted(self._last)},
+            "max": {k: self._max[k] for k in sorted(self._max)},
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters and gauges for one traced execution."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            if name in self._gauges:
+                raise ValueError(f"metric {name!r} is already a gauge") from None
+            self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            if name in self._counters:
+                raise ValueError(f"metric {name!r} is already a counter") from None
+            self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministically ordered name -> metric snapshot mapping."""
+        out: Dict[str, Any] = {}
+        for name in sorted(set(self._counters) | set(self._gauges)):
+            metric = self._counters.get(name) or self._gauges[name]
+            out[name] = metric.snapshot()
+        return out
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, value: float = 1, worker: Optional[int] = None) -> None:
+        return None
+
+    def total(self) -> float:
+        return 0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def sample(self, value: float, worker: Optional[int] = None) -> None:
+        return None
+
+    set = sample
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+
+
+class _NullMetricsRegistry:
+    """Metrics sink for the null recorder: accepts and discards everything."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+def sample_peak_rss_kb() -> Optional[float]:
+    """This process's peak RSS in KB, or ``None`` where unsupported."""
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KB elsewhere
+        peak /= 1024
+    return float(peak)

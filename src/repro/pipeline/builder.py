@@ -36,7 +36,7 @@ import os
 import tempfile
 import warnings
 from dataclasses import dataclass
-from time import perf_counter
+from time import monotonic_ns
 from typing import Any, Dict, Optional, Union
 
 from ..bsp import (
@@ -47,6 +47,7 @@ from ..bsp import (
     build_distributed_graph,
 )
 from ..graph import Graph
+from ..obs import NULL_RECORDER, TraceRecorder, write_trace
 from ..partition import PartitionMetrics, PartitionResult, partition_metrics, refine_vertex_cut
 from ..stream import EdgeChunkStream, SpilledPartition, StreamError, stream_partition
 from .registries import APPS, BACKENDS, GENERATORS, PARTITIONERS, STREAMS
@@ -129,6 +130,10 @@ class PipelineResult:
     #: per-part edge counts and the replication factor as observed by
     #: the streaming assigner, plus the spill volume.
     stream: Optional[Dict[str, Any]] = None
+    #: path the execution trace was written to (``None`` when tracing
+    #: was off); load it with :func:`repro.obs.load_trace` or inspect
+    #: it with ``repro trace <path>``.
+    trace_path: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe summary of the whole run."""
@@ -169,6 +174,10 @@ class PipelineResult:
         }
         if self.stream is not None:
             payload["stream"] = dict(self.stream)
+        # Present only for traced runs: untraced summaries keep their
+        # historical byte-identical serialization (golden documents).
+        if self.trace_path is not None:
+            payload["trace"] = self.trace_path
         return payload
 
     def to_json(self, indent: int = 2) -> str:
@@ -197,6 +206,7 @@ class Pipeline:
         self._backend_spec: str = "serial"
         self._cost_model: Optional[CostModel] = None
         self._checkpoint: Optional[Dict[str, Any]] = None
+        self._trace: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Stage setters
@@ -299,6 +309,24 @@ class Pipeline:
         )
         return self
 
+    def trace(self, path: Optional[str]) -> "Pipeline":
+        """Record a structured execution trace into ``path``.
+
+        A ``.jsonl`` path selects line-delimited JSON; anything else
+        writes Chrome trace-event JSON, loadable in Perfetto — per-worker
+        compute/exchange/barrier spans on one timeline row per worker
+        (see :mod:`repro.obs`).  Tracing is strictly observational:
+        results, deterministic stats and checkpoint fingerprints are
+        bit-identical with and without it.  Pass ``None`` to disable
+        (the default; a disabled run does no recording work at all).
+        """
+        if path is not None and (not isinstance(path, str) or not path):
+            raise SpecError(
+                f"trace path must be None or a non-empty string, got {path!r}"
+            )
+        self._trace = path
+        return self
+
     def with_cost_model(self, cost_model: Optional[CostModel] = None, **kwargs: Any) -> "Pipeline":
         """Override the BSP cost model (instance or field overrides)."""
         if cost_model is not None and kwargs:
@@ -323,6 +351,7 @@ class Pipeline:
         pipe._backend_spec = spec.backend
         pipe._cost_model = spec.build_cost_model()
         pipe._checkpoint = None if spec.checkpoint is None else dict(spec.checkpoint)
+        pipe._trace = spec.trace
         return pipe
 
     def spec(self) -> PipelineSpec:
@@ -360,6 +389,7 @@ class Pipeline:
                 None if self._cost_model is None else dataclasses.asdict(self._cost_model)
             ),
             checkpoint=None if self._checkpoint is None else dict(self._checkpoint),
+            trace=self._trace,
         )
 
     # ------------------------------------------------------------------
@@ -390,6 +420,9 @@ class Pipeline:
         """
         timings: Dict[str, float] = {}
         substage_walls: Dict[str, float] = {}
+        # One recorder for the whole execution; the null singleton when
+        # tracing is off, so the untraced path allocates nothing.
+        rec = TraceRecorder(label="pipeline") if self._trace else NULL_RECORDER
         if isinstance(self._source, (Graph, EdgeChunkStream)) or any(
             (self._source_overrides, self._partition_overrides, self._app_overrides)
         ):
@@ -430,9 +463,17 @@ class Pipeline:
                     stacklevel=2,
                 )
 
+        def close_stage(name: str, t0: int) -> None:
+            """One wall-clock bracket feeds both ``timings`` and the trace:
+            every ``timings`` stage becomes a ``pipeline.*`` span."""
+            t1 = monotonic_ns()
+            timings[name] = (t1 - t0) * 1e-9
+            if rec.enabled:
+                rec.add(f"pipeline.{name}", t0, t1, cat="pipeline")
+
         stream_source = self._stream_source()
         stream_info: Optional[Dict[str, Any]] = None
-        t0 = perf_counter()
+        t0 = monotonic_ns()
         if isinstance(self._source, Graph):
             graph = self._source
         elif stream_source is not None:
@@ -448,9 +489,9 @@ class Pipeline:
                 "source",
                 lambda: GENERATORS.create(self._source, **self._source_overrides),
             )
-        timings["source"] = perf_counter() - t0
+        close_stage("source", t0)
 
-        t0 = perf_counter()
+        t0 = monotonic_ns()
         partitioner = _stage(
             "partition",
             lambda: PARTITIONERS.create(
@@ -473,18 +514,18 @@ class Pipeline:
                         # through to the overwrite path below.
                         spilled = None
                 if spilled is None:
-                    t1 = perf_counter()
+                    t1 = monotonic_ns()
                     spilled = _stage(
                         "partition",
                         lambda: stream_partition(
                             stream, partitioner, self._parts, spill_dir,
-                            overwrite=overwrite,
+                            overwrite=overwrite, recorder=rec,
                         ),
                     )
-                    substage_walls["partition.spill"] = perf_counter() - t1
-                t1 = perf_counter()
+                    substage_walls["partition.spill"] = (monotonic_ns() - t1) * 1e-9
+                t1 = monotonic_ns()
                 assembled = _stage("partition", spilled.assemble)
-                substage_walls["partition.assemble"] = perf_counter() - t1
+                substage_walls["partition.assemble"] = (monotonic_ns() - t1) * 1e-9
                 return assembled, dict(spilled.manifest)
 
             if ckpt is not None:
@@ -507,24 +548,24 @@ class Pipeline:
             graph = result.graph
         else:
             result = partitioner.partition(graph, self._parts)
-        timings["partition"] = perf_counter() - t0
+        close_stage("partition", t0)
 
         if self._refine:
-            t0 = perf_counter()
+            t0 = monotonic_ns()
             result = _stage(
                 "refine", lambda: refine_vertex_cut(result, **self._refine_options)
             )
-            timings["refine"] = perf_counter() - t0
+            close_stage("refine", t0)
 
         metrics = partition_metrics(result)
 
         run = None
         dgraph = None
         if self._app_spec is not None:
-            t0 = perf_counter()
+            t0 = monotonic_ns()
             dgraph = build_distributed_graph(result)
-            timings["distribute"] = perf_counter() - t0
-            t0 = perf_counter()
+            close_stage("distribute", t0)
+            t0 = monotonic_ns()
             program = _stage(
                 "run",
                 lambda: APPS.create(self._app_spec, graph, **self._app_overrides),
@@ -536,9 +577,10 @@ class Pipeline:
                 checkpoint_dir=None if ckpt is None else ckpt["dir"],
                 checkpoint_every=1 if ckpt is None else ckpt["every"],
                 checkpoint_keep=2 if ckpt is None else ckpt["keep"],
+                recorder=rec,
             )
             run = engine.run(dgraph, program, resume_from=resume_from)
-            timings["run"] = perf_counter() - t0
+            close_stage("run", t0)
 
         timings["total"] = sum(timings.values())
         # Sub-stage walls; dotted keys so they read as components of
@@ -548,6 +590,9 @@ class Pipeline:
         if run is not None:
             for stage, seconds in run.real_stage_seconds().items():
                 timings[f"run.{stage}"] = seconds
+        trace_path = None
+        if self._trace:
+            trace_path = write_trace(rec, self._trace)
         return PipelineResult(
             graph=graph,
             partition=result,
@@ -558,6 +603,7 @@ class Pipeline:
             distributed=dgraph,
             stream=stream_info,
             checkpoint_dir=None if ckpt is None else ckpt["dir"],
+            trace_path=trace_path,
         )
 
 

@@ -181,6 +181,13 @@ class PipelineSpec:
         so ``repro resume <dir>`` can rebuild and continue the run; a
         stream source spills its shards under ``<dir>/spill`` and resume
         reuses them, skipping the re-partition entirely.
+    trace:
+        Optional output path for a structured execution trace (see
+        :mod:`repro.obs`): a ``.jsonl`` path selects line-delimited
+        JSON, anything else Chrome trace-event JSON (Perfetto-loadable).
+        Tracing is strictly observational — results, deterministic
+        stats and checkpoint fingerprints are bit-identical with and
+        without it.
     """
 
     source: str
@@ -192,6 +199,7 @@ class PipelineSpec:
     backend: str = "serial"
     cost_model: Optional[Dict[str, float]] = None
     checkpoint: Optional[Dict[str, Any]] = None
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.source, self._source_is_stream = _canonical_source(self.source)
@@ -215,6 +223,12 @@ class PipelineSpec:
             self.app = _canonical_component(self.app, APPS, "app")
         self.backend = _canonical_component(self.backend, BACKENDS, "backend")
         self.checkpoint = _canonical_checkpoint(self.checkpoint)
+        if self.trace is not None and (
+            not isinstance(self.trace, str) or not self.trace
+        ):
+            raise SpecError(
+                f"'trace' must be null or a non-empty output path, got {self.trace!r}"
+            )
         if self.cost_model is not None:
             if not isinstance(self.cost_model, dict):
                 raise SpecError("'cost_model' must be a dict of CostModel fields")
@@ -258,7 +272,7 @@ class PipelineSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """The canonical plain-dict form (inverse of :meth:`from_dict`)."""
-        return {
+        out = {
             "source": self.source,
             "partition": self.partition,
             "parts": self.parts,
@@ -269,6 +283,11 @@ class PipelineSpec:
             "cost_model": None if self.cost_model is None else dict(self.cost_model),
             "checkpoint": None if self.checkpoint is None else dict(self.checkpoint),
         }
+        # Emitted only when set: untraced specs keep their historical
+        # byte-identical serialization (committed golden documents).
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

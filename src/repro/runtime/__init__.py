@@ -75,9 +75,17 @@ so their attach-time registration is a set-level no-op — see
 Real time vs. modeled time
 --------------------------
 Runs record *both* clocks.  Real wall-clock per superstep stage
-(``SuperstepStats.real_seconds``) measures this machine and backend —
-use it for runtime benchmarks (``benchmarks/bench_runtime.py``, which
-reports compute and exchange stage walls separately).  The
+(``SuperstepStats.real_seconds``, keys ``"compute"`` / ``"exchange"`` /
+``"converge"``) measures this machine and backend — use it for runtime
+benchmarks (``benchmarks/bench_runtime.py``, which reports compute and
+exchange stage walls separately).  Stage returns additionally carry the
+measured *per-worker* kernel walls
+(:class:`~repro.runtime.base.ComputeStageResult` ``.walls``,
+:class:`~repro.runtime.base.ExchangeResult` ``.up_walls`` /
+``.down_walls``) on every path, traced or not; attaching a
+:class:`repro.obs.TraceRecorder` via
+:meth:`BackendSession.attach_recorder` additionally turns them into
+per-worker compute / exchange / barrier-wait spans.  The
 deterministic :class:`~repro.bsp.cost_model.CostModel` accounting is
 unchanged and remains **authoritative for every paper artifact**
 (Tables II–V, Figures 2–5): those figures model a 4-node cluster's cost
@@ -91,6 +99,7 @@ from .base import (
     Backend,
     BackendError,
     BackendSession,
+    ComputeStageResult,
     ExchangeResult,
     ExchangeScratch,
     RoutePlan,
@@ -100,6 +109,8 @@ from .base import (
     allocate_state,
     assemble_exchange,
     build_route_plan,
+    finish_compute_stage,
+    finish_exchange_stage,
 )
 from .process import ProcessBackend
 from .serial import SerialBackend
@@ -113,12 +124,15 @@ __all__ = [
     "SharedArraySession",
     "WorkerState",
     "ExchangeScratch",
+    "ComputeStageResult",
     "ExchangeResult",
     "RoutePlan",
     "allocate_state",
     "allocate_scratch",
     "build_route_plan",
     "assemble_exchange",
+    "finish_compute_stage",
+    "finish_exchange_stage",
     "superstep_compute",
     "superstep_exchange_up",
     "superstep_exchange_down",

@@ -50,18 +50,21 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from time import monotonic_ns
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..bsp.distributed import DistributedGraph, _Route
 from ..bsp.program import ACCUMULATE, MINIMIZE, SubgraphProgram
+from ..obs import NULL_RECORDER
 from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
 
 __all__ = [
     "BackendError",
     "WorkerState",
     "ExchangeScratch",
+    "ComputeStageResult",
     "ExchangeResult",
     "RoutePlan",
     "BackendSession",
@@ -71,6 +74,8 @@ __all__ = [
     "allocate_scratch",
     "build_route_plan",
     "assemble_exchange",
+    "finish_compute_stage",
+    "finish_exchange_stage",
 ]
 
 
@@ -125,17 +130,51 @@ class ExchangeScratch:
 
 
 @dataclass
+class ComputeStageResult:
+    """What one computation stage produced, assembled across workers.
+
+    ``work`` is the per-worker work-unit tally the cost model consumes
+    (length ``p``); ``walls`` is the measured per-worker kernel
+    wall-clock in seconds — the quantity every session already timed
+    and used to discard, now surfaced on *every* path (traced or not)
+    so stragglers are visible without re-running.
+    """
+
+    work: np.ndarray
+    walls: np.ndarray
+
+    # np.array_equal(result, expected) on the work tally keeps working
+    # for callers that treated the stage return as the work array.
+    def __array__(self, dtype=None, copy=None):
+        if dtype is not None:
+            return self.work.astype(dtype)
+        return self.work
+
+
+@dataclass
 class ExchangeResult:
     """What one exchange stage produced, assembled across workers.
 
     ``sent``/``received`` are exact per-worker message tallies (length
     ``p``, int64); ``delta`` is the global value change accumulate-mode
     programs feed to ``has_converged`` (0.0 in minimize mode).
+    ``up_walls``/``down_walls`` are the measured per-worker wall-clock
+    seconds of the two pull phases (populated by
+    :func:`finish_exchange_stage` on every backend, traced or not).
     """
 
     sent: np.ndarray
     received: np.ndarray
     delta: float = 0.0
+    up_walls: Optional[np.ndarray] = None
+    down_walls: Optional[np.ndarray] = None
+
+    @property
+    def walls(self) -> Optional[np.ndarray]:
+        """Per-worker exchange seconds (both phases), when measured."""
+        if self.up_walls is None or self.down_walls is None:
+            return None
+        return self.up_walls + self.down_walls
 
 
 @dataclass(frozen=True)
@@ -201,6 +240,83 @@ def assemble_exchange(
     return ExchangeResult(sent=sent, received=received, delta=delta)
 
 
+#: one worker's timed phase result: ``(value, t0_ns, t1_ns)`` with the
+#: monotonic-clock readings bracketing the kernel call.  The serial and
+#: thread sessions produce these from the timed thunks below; the
+#: process backend's children produce the identical triple and ship it
+#: back on the existing per-superstep pipe reply — no new
+#: synchronization, the reply *is* the barrier.
+TimedResult = Tuple[object, int, int]
+
+
+def _record_worker_phase(
+    recorder, name: str, superstep: int, windows: Sequence[Tuple[int, int]]
+) -> None:
+    """Emit one ``name`` span plus one barrier span per worker.
+
+    The barrier span for worker ``w`` runs from the end of its own phase
+    to the end of the slowest worker's — the Fig. 4 "synchronization"
+    segment — computed purely from the timestamps every stage already
+    collects.  It is emitted even when zero-length so the span count per
+    superstep is a backend-independent constant (the cross-backend
+    span-count equivalence the obs tests lock down).
+    """
+    end = max(t1 for _, t1 in windows)
+    add = recorder.add  # positional calls: this loop is the traced hot path
+    barrier = f"barrier.{name}"
+    for w, (t0, t1) in enumerate(windows):
+        add(name, t0, t1, w, superstep, "worker")
+        add(barrier, t1, end, w, superstep, "barrier")
+
+
+def finish_compute_stage(
+    recorder, superstep: int, timed: Sequence[TimedResult]
+) -> ComputeStageResult:
+    """Fold per-worker timed compute results into the stage return.
+
+    Shared by every backend so the walls (and, when tracing, the span
+    set) are assembled identically: ``timed[w]`` is worker ``w``'s
+    ``(work_units, t0_ns, t1_ns)``.
+    """
+    work = np.array([value for value, _, _ in timed])
+    walls = np.array([(t1 - t0) * 1e-9 for _, t0, t1 in timed])
+    if recorder.enabled:
+        _record_worker_phase(
+            recorder, "compute", superstep, [(t0, t1) for _, t0, t1 in timed]
+        )
+    return ComputeStageResult(work=work, walls=walls)
+
+
+def finish_exchange_stage(
+    recorder,
+    superstep: int,
+    ups: Sequence[TimedResult],
+    downs: Sequence[TimedResult],
+) -> ExchangeResult:
+    """Fold the two timed pull phases into the stage return.
+
+    ``ups[w]`` is ``((counts, delta), t0_ns, t1_ns)`` and ``downs[w]``
+    is ``(counts, t0_ns, t1_ns)`` for worker ``w``.  Tally assembly is
+    exactly :func:`assemble_exchange`; this adds the per-phase walls and
+    (when tracing) the per-worker exchange + barrier spans.
+    """
+    result = assemble_exchange(
+        [counts for (counts, _), _, _ in ups],
+        [counts for counts, _, _ in downs],
+        [delta for (_, delta), _, _ in ups],
+    )
+    result.up_walls = np.array([(t1 - t0) * 1e-9 for _, t0, t1 in ups])
+    result.down_walls = np.array([(t1 - t0) * 1e-9 for _, t0, t1 in downs])
+    if recorder.enabled:
+        _record_worker_phase(
+            recorder, "exchange.up", superstep, [(t0, t1) for _, t0, t1 in ups]
+        )
+        _record_worker_phase(
+            recorder, "exchange.down", superstep, [(t0, t1) for _, t0, t1 in downs]
+        )
+    return result
+
+
 class BackendSession(abc.ABC):
     """One program execution bound to a backend's execution resources.
 
@@ -212,16 +328,32 @@ class BackendSession(abc.ABC):
     #: canonical backend name, stamped onto the resulting ``BSPRun``.
     backend_name: str = "?"
     state: WorkerState
+    #: span/metric sink; the always-off singleton until a traced caller
+    #: attaches a live :class:`~repro.obs.trace.TraceRecorder`.
+    recorder = NULL_RECORDER
+
+    def attach_recorder(self, recorder) -> None:
+        """Point this session's span/metric output at ``recorder``.
+
+        Called by the engine before the first superstep of a traced run;
+        sessions only ever *read* timestamps into it during the stage
+        calls, so attaching between stages is safe.  The default (no
+        attach) is :data:`repro.obs.NULL_RECORDER` — tracing disabled,
+        zero per-superstep recorder allocations.
+        """
+        self.recorder = recorder
 
     @abc.abstractmethod
-    def compute_stage(self, superstep: int = 0) -> np.ndarray:
-        """Run one computation stage on every worker; return work units.
+    def compute_stage(self, superstep: int = 0) -> ComputeStageResult:
+        """Run one computation stage on every worker.
 
         ``superstep`` is the 0-based index of the superstep being
         computed; backends must deliver it to every worker's
         :func:`~repro.runtime.worker.superstep_compute` call.  Blocks
         until all workers finish (the first barrier of the superstep —
-        the exchange stage's phases are the second and third).
+        the exchange stage's phases are the second and third) and
+        returns the per-worker work units *and* measured kernel walls
+        (assembled by :func:`finish_compute_stage` on every backend).
         """
 
     @abc.abstractmethod
@@ -353,10 +485,17 @@ class SharedArraySession(BackendSession):
         self._plan = build_route_plan(dgraph)
 
     # -- per-worker stage thunks ---------------------------------------
+    #
+    # Each thunk brackets the pure kernel call with monotonic-clock
+    # readings and returns ``(value, t0_ns, t1_ns)``.  The kernels in
+    # :mod:`repro.runtime.worker` stay observability-free — timing and
+    # recording happen out here, in the session (the worker-purity lint
+    # rule enforces that worker.py never imports repro.obs).
 
-    def _compute_one(self, w: int, superstep: int) -> float:
+    def _compute_one(self, w: int, superstep: int) -> TimedResult:
         state = self.state
-        return superstep_compute(
+        t0 = monotonic_ns()
+        work = superstep_compute(
             self._program,
             self._dgraph.locals[w],
             state.values[w],
@@ -365,10 +504,12 @@ class SharedArraySession(BackendSession):
             state.partials[w] if state.partials is not None else None,
             superstep,
         )
+        return work, t0, monotonic_ns()
 
-    def _exchange_up_one(self, w: int) -> Tuple[np.ndarray, float]:
+    def _exchange_up_one(self, w: int) -> TimedResult:
         state, scratch = self.state, self._scratch
-        return superstep_exchange_up(
+        t0 = monotonic_ns()
+        result = superstep_exchange_up(
             self._program,
             self._dgraph.locals[w],
             w,
@@ -380,10 +521,12 @@ class SharedArraySession(BackendSession):
             state.partials,
             scratch.sums[w] if scratch.sums is not None else None,
         )
+        return result, t0, monotonic_ns()
 
-    def _exchange_down_one(self, w: int) -> np.ndarray:
+    def _exchange_down_one(self, w: int) -> TimedResult:
         state, scratch = self.state, self._scratch
-        return superstep_exchange_down(
+        t0 = monotonic_ns()
+        counts = superstep_exchange_down(
             self._program,
             self._dgraph.locals[w],
             w,
@@ -392,3 +535,4 @@ class SharedArraySession(BackendSession):
             state.active[w] if state.active is not None else None,
             scratch.dirty,
         )
+        return counts, t0, monotonic_ns()

@@ -30,6 +30,7 @@ import weakref
 from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 from multiprocessing.shared_memory import SharedMemory
+from time import monotonic_ns
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -40,12 +41,14 @@ from .base import (
     Backend,
     BackendError,
     BackendSession,
+    ComputeStageResult,
     ExchangeResult,
     WorkerState,
     allocate_scratch,
     allocate_state,
-    assemble_exchange,
     build_route_plan,
+    finish_compute_stage,
+    finish_exchange_stage,
 )
 from .shm import SharedArraySpec, attach_shared_array, create_shared_array, destroy_shared_array
 from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
@@ -90,6 +93,12 @@ def _worker_main(conn) -> None:
             if cmd == "stop":
                 break
             try:
+                # Kernel walls are measured here, in the child, with the
+                # system-wide monotonic clock (CLOCK_MONOTONIC is shared
+                # across processes on Linux), so the parent can merge
+                # them with its own spans.  The timestamps ride back on
+                # the existing per-phase pipe reply — no extra traffic.
+                t0 = monotonic_ns()
                 if cmd == "compute":
                     result = superstep_compute(
                         program,
@@ -123,7 +132,7 @@ def _worker_main(conn) -> None:
             except BaseException:
                 conn.send(("error", traceback.format_exc()))
             else:
-                conn.send(("ok", result))
+                conn.send(("ok", (result, t0, monotonic_ns())))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     finally:
@@ -262,13 +271,12 @@ class _ProcessSession(BackendSession):
             except (BrokenPipeError, OSError) as exc:
                 raise BackendError(f"worker pool is down: {exc}") from exc
 
-    def compute_stage(self, superstep: int = 0) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> ComputeStageResult:
         p = len(self._conns)
-        work = np.zeros(p)
         self._broadcast("compute", superstep)
-        for w in range(p):
-            work[w] = self._expect(w, "ok")
-        return work
+        return finish_compute_stage(
+            self.recorder, superstep, [self._expect(w, "ok") for w in range(p)]
+        )
 
     def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
         p = len(self._conns)
@@ -280,9 +288,7 @@ class _ProcessSession(BackendSession):
         ups = [self._expect(w, "ok") for w in range(p)]
         self._broadcast("exchange_down", superstep)
         downs = [self._expect(w, "ok") for w in range(p)]
-        return assemble_exchange(
-            [counts for counts, _ in ups], downs, [delta for _, delta in ups]
-        )
+        return finish_exchange_stage(self.recorder, superstep, ups, downs)
 
     def close(self) -> None:
         if self._finalizer.alive:

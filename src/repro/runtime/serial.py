@@ -9,16 +9,16 @@ backends are tested against (the bit-identity oracle), and the baseline
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..bsp.distributed import DistributedGraph
 from ..bsp.program import SubgraphProgram
 from .base import (
     Backend,
     BackendSession,
+    ComputeStageResult,
     ExchangeResult,
     SharedArraySession,
-    assemble_exchange,
+    finish_compute_stage,
+    finish_exchange_stage,
 )
 
 __all__ = ["SerialBackend"]
@@ -27,9 +27,11 @@ __all__ = ["SerialBackend"]
 class _SerialSession(SharedArraySession):
     backend_name = "serial"
 
-    def compute_stage(self, superstep: int = 0) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> ComputeStageResult:
         p = self._dgraph.num_workers
-        return np.array([self._compute_one(w, superstep) for w in range(p)])
+        return finish_compute_stage(
+            self.recorder, superstep, [self._compute_one(w, superstep) for w in range(p)]
+        )
 
     def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
         p = self._dgraph.num_workers
@@ -37,9 +39,7 @@ class _SerialSession(SharedArraySession):
         # The sequential loop is itself the up/down barrier: every
         # worker's up phase has run before the first down phase starts.
         downs = [self._exchange_down_one(w) for w in range(p)]
-        return assemble_exchange(
-            [counts for counts, _ in ups], downs, [delta for _, delta in ups]
-        )
+        return finish_exchange_stage(self.recorder, superstep, ups, downs)
 
 
 class SerialBackend(Backend):

@@ -18,16 +18,16 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
-import numpy as np
-
 from ..bsp.distributed import DistributedGraph
 from ..bsp.program import SubgraphProgram
 from .base import (
     Backend,
     BackendSession,
+    ComputeStageResult,
     ExchangeResult,
     SharedArraySession,
-    assemble_exchange,
+    finish_compute_stage,
+    finish_exchange_stage,
 )
 
 __all__ = ["ThreadBackend"]
@@ -48,13 +48,15 @@ class _ThreadSession(SharedArraySession):
             max_workers=max(1, pool_size), thread_name_prefix="repro-bsp"
         )
 
-    def compute_stage(self, superstep: int = 0) -> np.ndarray:
+    def compute_stage(self, superstep: int = 0) -> ComputeStageResult:
         p = self._dgraph.num_workers
         futures = [
             self._pool.submit(self._compute_one, w, superstep) for w in range(p)
         ]
         # future.result() re-raises worker exceptions in submission order.
-        return np.array([f.result() for f in futures])
+        return finish_compute_stage(
+            self.recorder, superstep, [f.result() for f in futures]
+        )
 
     def exchange_stage(self, superstep: int = 0) -> ExchangeResult:
         p = self._dgraph.num_workers
@@ -68,9 +70,7 @@ class _ThreadSession(SharedArraySession):
             self._pool.submit(self._exchange_down_one, w) for w in range(p)
         ]
         downs = [f.result() for f in down_futures]
-        return assemble_exchange(
-            [counts for counts, _ in ups], downs, [delta for _, delta in ups]
-        )
+        return finish_exchange_stage(self.recorder, superstep, ups, downs)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -38,6 +38,14 @@ Both phases return exact per-source message tallies (a message pulled
 by ``w`` from ``src`` was "sent" by ``src`` and "received" by ``w``);
 :func:`repro.runtime.base.assemble_exchange` folds them into the global
 per-worker sent/received arrays the cost model consumes.
+
+Kernels here are deliberately observability-free: they never import
+:mod:`repro.obs` or read a clock.  The *caller* (each backend session,
+or the process backend's child loop) brackets the kernel call with
+monotonic-clock reads and hands the window to the session's attached
+recorder — see :func:`repro.runtime.base.finish_compute_stage`.  The
+``worker-purity`` lint rule enforces the no-obs-import half of this
+contract.
 """
 
 from __future__ import annotations

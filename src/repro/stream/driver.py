@@ -35,6 +35,7 @@ from typing import IO, Dict, Iterable, Iterator, List, Optional
 import numpy as np
 
 from ..graph import Graph
+from ..obs import NULL_RECORDER
 from ..partition.base import VERTEX_CUT, PartitionResult
 from .sketch import DegreeSketch
 from .sources import EdgeChunk, EdgeChunkStream, StreamError
@@ -163,13 +164,34 @@ def stream_partition(
     num_parts: int,
     spill_dir: str,
     overwrite: bool = False,
+    recorder=None,
 ) -> "SpilledPartition":
     """Partition an edge stream out of core, spilling shards to ``spill_dir``.
 
     ``partitioner`` must be streaming-capable (``supports_stream``; see
     :mod:`repro.partition.streaming`).  Returns the
-    :class:`SpilledPartition` handle over the written shards.
+    :class:`SpilledPartition` handle over the written shards.  An
+    optional :class:`repro.obs.TraceRecorder` wraps the spill in a
+    ``stream.spill`` span and records the on-disk bytes as the
+    ``spill.bytes`` counter.
     """
+    recorder = NULL_RECORDER if recorder is None else recorder
+    with recorder.span("stream.spill", cat="stream"):
+        spilled = _stream_partition(stream, partitioner, num_parts, spill_dir, overwrite)
+    if recorder.enabled:
+        recorder.metrics.counter("spill.bytes").inc(
+            int(spilled.manifest["bytes_spilled"])
+        )
+    return spilled
+
+
+def _stream_partition(
+    stream: EdgeChunkStream,
+    partitioner,
+    num_parts: int,
+    spill_dir: str,
+    overwrite: bool,
+) -> "SpilledPartition":
     if num_parts < 1:
         raise StreamError("num_parts must be >= 1")
     created_dir = not os.path.isdir(spill_dir)

@@ -179,3 +179,121 @@ class TestQuiet:
             rules=RULE,
         )
         assert report.findings == []
+
+
+class TestObsPackage:
+    """obs/ is a hot prefix; only the audited exemptions pass."""
+
+    def test_obs_wall_clock_fires(self, lint_tree):
+        report = lint_tree(
+            {
+                "obs/sneaky.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_audited_exemption_is_quiet(self, lint_tree):
+        """The one blessed call site: trace.py's header wall stamp."""
+        report = lint_tree(
+            {
+                "obs/trace.py": """\
+                import time
+
+                def header_stamp():
+                    return time.time()
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_exemption_is_per_call_not_per_module(self, lint_tree):
+        """Other wall-clock calls in the exempted module still fire."""
+        report = lint_tree(
+            {
+                "obs/trace.py": """\
+                import time
+                import uuid
+
+                def header_stamp():
+                    return time.time()
+
+                def label():
+                    return uuid.uuid4()
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+        assert "uuid.uuid4" in report.findings[0].message
+
+    def test_exemption_resolves_through_alias(self, lint_tree):
+        """``import time as t; t.time()`` matches the same exemption."""
+        report = lint_tree(
+            {
+                "obs/trace.py": """\
+                import time as t
+
+                def header_stamp():
+                    return t.time()
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_from_import_in_exempted_module_is_quiet(self, lint_tree):
+        report = lint_tree(
+            {
+                "obs/trace.py": """\
+                from time import time
+
+                def header_stamp():
+                    return time()
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_exemption_does_not_leak_to_other_modules(self, lint_tree):
+        report = lint_tree(
+            {
+                "obs/metrics.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["determinism"]
+
+    def test_monotonic_in_obs_is_fine(self, lint_tree):
+        report = lint_tree(
+            {
+                "obs/spans.py": """\
+                import time
+
+                def now_ns():
+                    return time.monotonic_ns()
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_real_exemption_matches_shipped_source(self):
+        """The allowlist key must track the actual call in repro.obs.trace."""
+        from repro.lint.rules.determinism import WALL_CLOCK_EXEMPTIONS
+
+        assert ("obs/trace.py", "time.time") in WALL_CLOCK_EXEMPTIONS
+        for (rel, call), why in WALL_CLOCK_EXEMPTIONS.items():
+            assert why.strip(), f"exemption ({rel}, {call}) must justify itself"

@@ -165,3 +165,87 @@ class TestQuiet:
             rules=RULE,
         )
         assert report.findings == []
+
+
+class TestKernelObsFree:
+    """runtime/worker.py must never import the obs package."""
+
+    def test_plain_import_fires(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/worker.py": """\
+                import repro.obs
+
+                def compute_kernel(state):
+                    return state
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["worker-purity"]
+        assert "observability-free" in report.findings[0].message
+
+    def test_relative_from_import_fires(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/worker.py": """\
+                from ..obs import NULL_RECORDER
+
+                def compute_kernel(state):
+                    return state
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["worker-purity"]
+
+    def test_submodule_import_fires(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/worker.py": """\
+                from repro.obs.trace import TraceRecorder
+                """
+            },
+            rules=RULE,
+        )
+        assert rule_ids(report) == ["worker-purity"]
+
+    def test_obs_free_worker_is_quiet(self, lint_tree):
+        report = lint_tree(
+            {
+                "runtime/worker.py": """\
+                import numpy as np
+
+                def compute_kernel(state):
+                    return np.zeros(1)
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_other_runtime_modules_may_import_obs(self, lint_tree):
+        """Sessions hold the recorder; the ban is on the kernel module only."""
+        report = lint_tree(
+            {
+                "runtime/base.py": """\
+                from ..obs import NULL_RECORDER
+
+                CONSTANT = 1
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []
+
+    def test_module_merely_named_obs_like_is_quiet(self, lint_tree):
+        """Only the obs package path component triggers, not substrings."""
+        report = lint_tree(
+            {
+                "runtime/worker.py": """\
+                import observability_notes_for_humans as notes
+                """
+            },
+            rules=RULE,
+        )
+        assert report.findings == []

@@ -1,0 +1,150 @@
+"""Exporter round-trips: Chrome trace shape, JSONL, and the loader."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceRecorder,
+    load_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl_trace,
+    write_trace,
+)
+
+
+@pytest.fixture
+def recorder():
+    """Two workers, two supersteps, nested coordinator spans + metrics."""
+    rec = TraceRecorder(label="unit")
+    o = rec.origin_ns
+    for step in range(2):
+        base = o + step * 10_000
+        for w in range(2):
+            t0 = base + w * 100
+            rec.add("compute", t0, t0 + 2_000, worker=w, superstep=step, cat="worker")
+            rec.add(
+                "barrier.compute", t0 + 2_000, base + 2_200,
+                worker=w, superstep=step, cat="barrier",
+            )
+        rec.add("stage.compute", base, base + 2_500, superstep=step)
+        rec.add("converge", base + 2_500, base + 2_600, superstep=step)
+        rec.add("superstep", base, base + 9_000, superstep=step, cat="superstep")
+    rec.metrics.counter("messages.sent").inc(10, worker=0)
+    rec.metrics.counter("messages.sent").inc(12, worker=1)
+    rec.metrics.gauge("vertices.active").sample(42)
+    return rec
+
+
+class TestChromeTrace:
+    def test_document_shape(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, str(tmp_path / "t.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        meta = doc["otherData"]
+        assert meta["format"] == "repro-trace"
+        assert meta["label"] == "unit"
+        assert meta["num_workers"] == 2
+        assert meta["num_spans"] == len(recorder)
+        assert meta["metrics"]["messages.sent"]["total"] == 22
+
+    def test_one_tid_per_worker_plus_coordinator(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, str(tmp_path / "t.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {0: "coordinator", 1: "worker 0", 2: "worker 1"}
+        x_tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert x_tids == {0, 1, 2}
+
+    def test_timestamps_relative_to_origin_in_us(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, str(tmp_path / "t.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        first_compute = next(
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "compute"
+        )
+        assert first_compute["ts"] == pytest.approx(0.0)
+        assert first_compute["dur"] == pytest.approx(2.0)  # 2000 ns = 2 us
+        assert first_compute["args"]["superstep"] == 0
+
+    def test_validates(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, str(tmp_path / "t.json"))
+        stats = validate_chrome_trace(path)
+        assert stats["num_workers"] == 2
+        assert stats["tids"] == [0, 1, 2]
+        assert stats["num_events"] == len(recorder)
+        assert stats["duration_us"] > 0
+
+    def test_validate_rejects_partial_overlap(self):
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "coordinator"}},
+            {"name": "a", "ph": "X", "pid": 1, "tid": 0, "ts": 0.0, "dur": 10.0},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 0, "ts": 5.0, "dur": 10.0},
+        ]
+        with pytest.raises(ValueError, match="partially overlaps"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_validate_rejects_missing_fields_and_gappy_tids(self):
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2,
+             "args": {"name": "worker 1"}},
+            {"name": "a", "ph": "X", "pid": 1, "tid": 2, "ts": 0.0},  # no dur
+        ]
+        with pytest.raises(ValueError) as err:
+            validate_chrome_trace({"traceEvents": events})
+        assert "missing" in str(err.value)
+        assert "not contiguous" in str(err.value)
+
+    def test_validate_rejects_non_trace(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"hello": 1})
+
+
+class TestJsonlAndLoader:
+    def test_jsonl_structure(self, recorder, tmp_path):
+        path = write_jsonl_trace(recorder, str(tmp_path / "t.jsonl"))
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["num_workers"] == 2
+        assert lines[-1]["type"] == "metrics"
+        spans = [l for l in lines if l["type"] == "span"]
+        assert len(spans) == len(recorder)
+
+    def test_loader_normalizes_both_forms_identically(self, recorder, tmp_path):
+        chrome = load_trace(write_chrome_trace(recorder, str(tmp_path / "t.json")))
+        jsonl = load_trace(write_jsonl_trace(recorder, str(tmp_path / "t.jsonl")))
+        assert chrome["format"] == "chrome"
+        assert jsonl["format"] == "jsonl"
+        key = lambda e: (e["name"], e["worker"], e["superstep"], e["ts_us"], e["dur_us"])
+        assert [key(e) for e in chrome["events"]] == [key(e) for e in jsonl["events"]]
+        assert chrome["metrics"] == jsonl["metrics"]
+        assert chrome["meta"]["label"] == jsonl["meta"]["label"] == "unit"
+
+    def test_write_trace_dispatches_on_extension(self, recorder, tmp_path):
+        jsonl = write_trace(recorder, str(tmp_path / "a.jsonl"))
+        chrome = write_trace(recorder, str(tmp_path / "a.trace.json"))
+        assert load_trace(jsonl)["format"] == "jsonl"
+        assert load_trace(chrome)["format"] == "chrome"
+
+    def test_loader_rejects_non_trace_files(self, tmp_path):
+        plain = tmp_path / "notes.txt"
+        plain.write_text("just some text\n")
+        with pytest.raises(ValueError):
+            load_trace(str(plain))
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(str(empty))
+        wrong_json = tmp_path / "doc.json"
+        wrong_json.write_text(json.dumps({"results": [1, 2, 3]}))
+        with pytest.raises(ValueError):
+            load_trace(str(wrong_json))

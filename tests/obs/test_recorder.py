@@ -1,0 +1,141 @@
+"""TraceRecorder / MetricsRegistry unit tests, and the null-object contract."""
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    TraceRecorder,
+    sample_peak_rss_kb,
+)
+
+
+class TestTraceRecorder:
+    def test_add_records_labeled_span(self):
+        rec = TraceRecorder(label="t")
+        rec.add("compute", 1000, 3000, worker=2, superstep=5, cat="worker")
+        (span,) = rec.spans()
+        assert span.name == "compute"
+        assert span.cat == "worker"
+        assert (span.worker, span.superstep) == (2, 5)
+        assert (span.t0_ns, span.t1_ns) == (1000, 3000)
+        assert span.duration_seconds == pytest.approx(2e-6)
+
+    def test_span_context_manager_records_on_exit(self):
+        rec = TraceRecorder()
+        with rec.span("gather", cat="engine"):
+            pass
+        assert len(rec) == 1
+        span = rec.spans()[0]
+        assert span.name == "gather"
+        assert span.t1_ns >= span.t0_ns
+        assert span.worker is None
+
+    def test_num_workers_is_one_past_highest_id(self):
+        rec = TraceRecorder()
+        assert rec.num_workers() == 0
+        rec.add("stage.compute", 0, 1)  # coordinator span: no worker
+        assert rec.num_workers() == 0
+        rec.add("compute", 0, 1, worker=3)
+        assert rec.num_workers() == 4
+
+    def test_iteration_preserves_record_order(self):
+        rec = TraceRecorder()
+        for name in ("a", "b", "c"):
+            rec.add(name, 0, 1)
+        assert [s.name for s in rec] == ["a", "b", "c"]
+
+    def test_enabled_and_header_fields(self):
+        rec = TraceRecorder(label="pipeline")
+        assert rec.enabled is True
+        assert rec.label == "pipeline"
+        assert rec.origin_ns > 0
+        assert rec.wall_time > 0
+
+
+class TestMetrics:
+    def test_counter_shards_by_worker(self):
+        reg = MetricsRegistry()
+        c = reg.counter("messages.sent")
+        c.inc(5, worker=0)
+        c.inc(7, worker=1)
+        c.inc(1, worker=0)
+        assert c.total() == 13
+        snap = c.snapshot()
+        assert snap["kind"] == "counter"
+        assert snap["series"] == {"worker_0": 6, "worker_1": 7}
+
+    def test_counter_unlabeled_series_is_total(self):
+        c = MetricsRegistry().counter("spill.bytes")
+        c.inc(100)
+        assert c.snapshot()["series"] == {"total": 100}
+
+    def test_gauge_tracks_last_and_max(self):
+        g = MetricsRegistry().gauge("vertices.active")
+        g.sample(10)
+        g.sample(30)
+        g.sample(20)
+        snap = g.snapshot()
+        assert snap["kind"] == "gauge"
+        assert snap["last"] == {"total": 20}
+        assert snap["max"] == {"total": 30}
+
+    def test_registry_memoizes_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+
+    def test_cross_kind_name_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            reg.gauge("x")
+        reg.gauge("y")
+        with pytest.raises(ValueError, match="already a gauge"):
+            reg.counter("y")
+
+    def test_snapshot_is_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zz").inc()
+        reg.gauge("aa").sample(1)
+        reg.counter("mm").inc()
+        assert list(reg.snapshot()) == ["aa", "mm", "zz"]
+
+    def test_peak_rss_sample_is_positive_on_posix(self):
+        peak = sample_peak_rss_kb()
+        assert peak is None or peak > 0
+
+
+class TestNullRecorder:
+    """Tracing disabled must cost nothing and store nothing."""
+
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+
+    def test_add_and_iterate_are_noops(self):
+        NULL_RECORDER.add("compute", 0, 1, worker=0, superstep=0)
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.spans() == ()
+        assert list(NULL_RECORDER) == []
+        assert NULL_RECORDER.num_workers() == 0
+
+    def test_span_returns_one_shared_context(self):
+        a = NULL_RECORDER.span("x")
+        b = NULL_RECORDER.span("y", worker=1, superstep=2, cat="stage")
+        assert a is b  # zero allocations per use
+        with a:
+            pass
+        assert len(NULL_RECORDER) == 0
+
+    def test_metrics_sink_accepts_and_discards(self):
+        c = NULL_RECORDER.metrics.counter("messages.sent")
+        c.inc(100, worker=3)
+        assert c.total() == 0
+        g = NULL_RECORDER.metrics.gauge("vertices.active")
+        g.sample(42)
+        assert NULL_RECORDER.metrics.snapshot() == {}
+
+    def test_metrics_objects_are_shared_singletons(self):
+        m = NULL_RECORDER.metrics
+        assert m.counter("a") is m.counter("b")
+        assert m.gauge("a") is m.gauge("b")

@@ -1,0 +1,118 @@
+"""Tracing is strictly observational.
+
+The two halves of the acceptance criterion:
+
+* tracing **disabled vs. enabled**: application values, the
+  deterministic half of ``SuperstepStats`` (work / sent / received and
+  the cost-model clocks) and the checkpoint payload checksums are
+  bit-identical, on every backend at p in {2, 4};
+* tracing **enabled across backends**: serial, thread and process
+  record the same set of spans (same names, workers, supersteps), so a
+  trace is comparable across backends and the span schema cannot
+  silently fork per backend.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.pipeline import Pipeline
+
+SOURCE = "powerlaw?min_degree=2,seed=3,vertices=300"
+BACKENDS = ["serial", "thread", "process"]
+PARTS = [2, 4]
+
+
+def _run(tmp_path, backend, p, traced, tag):
+    pipe = (
+        Pipeline()
+        .source(SOURCE)
+        .partition("ebv", parts=p)
+        .run("pr", pagerank_iters=4)
+        .backend(backend)
+        .checkpoint(str(tmp_path / f"ckpt-{tag}"), every=2)
+    )
+    if traced:
+        pipe.trace(str(tmp_path / f"{tag}.trace.json"))
+    return pipe.execute()
+
+
+def _snapshot_checksums(ckpt_dir):
+    """{snapshot dir: payload sha256s} from the manifests (deterministic)."""
+    out = {}
+    for entry in sorted(os.listdir(ckpt_dir)):
+        manifest = os.path.join(ckpt_dir, entry, "manifest.json")
+        if not os.path.isfile(manifest):
+            continue
+        with open(manifest) as fh:
+            data = json.load(fh)
+        out[entry] = {name: info["sha256"] for name, info in data["files"].items()}
+    assert out, f"no snapshots under {ckpt_dir}"
+    return out
+
+
+def _deterministic_stats(result):
+    return [
+        (s.work.tolist(), s.sent.tolist(), s.received.tolist(),
+         s.comp_seconds.tolist(), s.comm_seconds.tolist())
+        for s in result.run.supersteps
+    ]
+
+
+@pytest.mark.parametrize("p", PARTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_tracing_does_not_perturb_results(tmp_path, backend, p):
+    plain = _run(tmp_path, backend, p, traced=False, tag=f"plain-{backend}-{p}")
+    traced = _run(tmp_path, backend, p, traced=True, tag=f"traced-{backend}-{p}")
+
+    # Bit-identical application values.
+    assert np.array_equal(traced.run.values, plain.run.values)
+
+    # Bit-identical deterministic stats, including CostModel accounting.
+    assert _deterministic_stats(traced) == _deterministic_stats(plain)
+    assert traced.run.num_supersteps == plain.run.num_supersteps
+
+    # Bit-identical checkpoint payloads (state + superstep npz checksums).
+    assert _snapshot_checksums(
+        tmp_path / f"ckpt-traced-{backend}-{p}"
+    ) == _snapshot_checksums(tmp_path / f"ckpt-plain-{backend}-{p}")
+
+    # The trace actually materialized and names the right worker count.
+    trace_doc = json.load(open(tmp_path / f"traced-{backend}-{p}.trace.json"))
+    assert trace_doc["otherData"]["num_workers"] == p
+    assert traced.trace_path.endswith(".trace.json")
+    assert plain.trace_path is None
+
+
+@pytest.mark.parametrize("p", PARTS)
+def test_span_schema_identical_across_backends(tmp_path, p):
+    keys = {}
+    for backend in BACKENDS:
+        result = _run(tmp_path, backend, p, traced=True, tag=f"spans-{backend}-{p}")
+        doc = json.load(open(tmp_path / f"spans-{backend}-{p}.trace.json"))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        keys[backend] = sorted(
+            (e["name"], e["tid"], e["args"].get("superstep"))
+            for e in events
+        )
+        assert result.run is not None
+    assert keys["thread"] == keys["serial"]
+    assert keys["process"] == keys["serial"]
+
+
+def test_real_seconds_has_three_stage_keys(tmp_path):
+    result = _run(tmp_path, "serial", 2, traced=False, tag="keys")
+    for stats in result.run.supersteps:
+        assert set(stats.real_seconds) == {"compute", "exchange", "converge"}
+        assert all(v >= 0.0 for v in stats.real_seconds.values())
+
+
+def test_untraced_result_dict_has_no_trace_key(tmp_path):
+    plain = _run(tmp_path, "serial", 2, traced=False, tag="dict-plain")
+    traced = _run(tmp_path, "serial", 2, traced=True, tag="dict-traced")
+    assert "trace" not in plain.to_dict()
+    assert "trace" not in plain.spec.to_dict()
+    assert traced.to_dict()["trace"] == traced.trace_path
+    assert traced.spec.to_dict()["trace"] == traced.trace_path

@@ -83,10 +83,12 @@ def test_real_wall_clock_recorded_per_stage(backend, graph, dgraphs):
     run = BSPEngine(backend=backend).run(dgraphs[2], APPS.create("pr", graph))
     assert run.num_supersteps > 0
     for stats in run.supersteps:
-        assert set(stats.real_seconds) == {"compute", "exchange"}
+        assert set(stats.real_seconds) == {"compute", "exchange", "converge"}
         assert all(v >= 0.0 for v in stats.real_seconds.values())
     totals = run.real_stage_seconds()
-    assert run.real_time == pytest.approx(totals["compute"] + totals["exchange"])
+    assert run.real_time == pytest.approx(
+        totals["compute"] + totals["exchange"] + totals["converge"]
+    )
 
 
 def test_serial_default_backend_unchanged(graph, dgraphs, reference_runs):

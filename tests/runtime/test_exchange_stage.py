@@ -215,9 +215,11 @@ def test_per_stage_state_bit_identity(graph, dgraphs, backend_name, p, app):
             "initial allocation",
         )
         for step in range(max_steps):
-            ref_work = ref_session.compute_stage(step)
-            par_work = par_session.compute_stage(step)
-            assert np.array_equal(par_work, ref_work), f"work units, step {step}"
+            ref_comp = ref_session.compute_stage(step)
+            par_comp = par_session.compute_stage(step)
+            assert np.array_equal(par_comp.work, ref_comp.work), f"work units, step {step}"
+            # Per-worker walls ride every stage return, traced or not.
+            assert len(par_comp.walls) == p and all(w >= 0.0 for w in par_comp.walls)
             _assert_states_equal(
                 _state_snapshot(par_session.state),
                 _state_snapshot(ref_session.state),
@@ -231,6 +233,7 @@ def test_per_stage_state_bit_identity(graph, dgraphs, backend_name, p, app):
                 f"received, step {step}"
             )
             assert par_ex.delta == ref_ex.delta, f"delta, step {step}"
+            assert len(par_ex.up_walls) == p and len(par_ex.down_walls) == p
             _assert_states_equal(
                 _state_snapshot(par_session.state),
                 _state_snapshot(ref_session.state),
