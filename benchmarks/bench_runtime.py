@@ -3,10 +3,12 @@
 
 Partitions each configured graph once, builds the distributed graph
 once, then executes PageRank and Connected Components through the BSP
-engine on every :mod:`repro.runtime` backend (``serial``, ``thread``,
-``process``), timing real wall-clock — best-of-N end-to-end plus the
-engine's per-superstep-stage walls (compute vs. replica exchange).
-Results are written as ``BENCH_runtime.json``.
+engine on every selected :mod:`repro.runtime` backend (default
+``serial``, ``thread``, ``process``; add ``--backend socket`` for the
+multi-node TCP backend on spawned localhost workers), timing real
+wall-clock — best-of-N end-to-end plus the engine's
+per-superstep-stage walls (compute vs. replica exchange).  Results are
+written as ``BENCH_runtime.json``.
 
 Usage::
 
@@ -15,6 +17,18 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_runtime.py --check-speedup 1.5
     PYTHONPATH=src python benchmarks/bench_runtime.py --quick --trace \
         --check-overhead 5
+    PYTHONPATH=src python benchmarks/bench_runtime.py --quick --trace \
+        --backend socket                                 # localhost TCP
+
+``--backend NAME`` (repeatable) replaces the default backend set;
+``serial`` is always kept as the bit-identity/timing reference.  For
+the ``socket`` backend with ``--trace`` the trace block additionally
+reports the wire walls summed from the recorder's ``wire.*`` spans —
+``wire_s.collect`` (worker-side outbox serialization), ``wire_s.send``
+/ ``wire_s.recv`` (coordinator frame I/O per exchange phase) and
+``wire_s.state`` (explicit per-superstep state pulls, a cost only
+traced runs pay) — so serialize vs. transport time is visible
+separately from the stage walls.
 
 ``--trace`` runs one extra best-of-N pass per (app, backend) with a
 :class:`repro.obs.TraceRecorder` attached and adds a ``trace`` block to
@@ -89,7 +103,10 @@ QUICK_CONFIGS = [
 #: apps swept per configuration (registry spec strings).
 APPS_UNDER_TEST = ("pagerank", "cc")
 
-BACKEND_NAMES = ("serial", "thread", "process")
+DEFAULT_BACKENDS = ("serial", "thread", "process")
+
+#: every backend the harness can time (--backend choices).
+KNOWN_BACKENDS = ("serial", "thread", "process", "socket")
 
 
 def cpus_available() -> int:
@@ -168,7 +185,28 @@ def _summarize_recorder(rec):
     return summarize_trace(trace)
 
 
-def run_config(name, gen_kwargs, p, repeats, pagerank_iters, trace=False):
+def _wire_walls(rec):
+    """Sum the socket backend's ``wire.*`` span walls, in seconds.
+
+    Groups by the span name's second token: ``collect`` (worker-side
+    outbox serialization, summed across workers), ``send``/``recv``
+    (coordinator frame I/O) and ``state`` (pull/push_state — the
+    explicit per-superstep pulls only traced runs perform).  Returns
+    ``{}`` for backends that never touch a wire.
+    """
+    walls = {}
+    for span in rec.spans():
+        if span.cat != "wire":
+            continue
+        kind = span.name.split(".")[1]
+        if kind in ("pull_state", "push_state"):
+            kind = "state"
+        walls[kind] = walls.get(kind, 0.0) + (span.t1_ns - span.t0_ns) / 1e9
+    return {k: walls[k] for k in sorted(walls)}
+
+
+def run_config(name, gen_kwargs, p, repeats, pagerank_iters, backends,
+               trace=False):
     graph = generate_graph(**gen_kwargs)
     result = DBHPartitioner().partition(graph, p)
     dgraph = build_distributed_graph(result)
@@ -193,7 +231,7 @@ def run_config(name, gen_kwargs, p, repeats, pagerank_iters, trace=False):
 
     for app in APPS_UNDER_TEST:
         per_backend = {}
-        for backend_name in BACKEND_NAMES:
+        for backend_name in backends:
             if trace:
                 total_s, run, traced_s, rec = _time_paired(
                     backend_name, dgraph, apps[app], repeats
@@ -231,9 +269,12 @@ def run_config(name, gen_kwargs, p, repeats, pagerank_iters, trace=False):
                     "worker_barrier_s": summary.worker_barrier_seconds,
                     "worker_busy_s": summary.worker_busy_seconds(),
                 }
+                wire_s = _wire_walls(rec)
+                if wire_s:  # socket backend: serialize/send breakdown
+                    per_backend[backend_name]["trace"]["wire_s"] = wire_s
         serial_total = per_backend["serial"]["total_s"]
         serial_stages = per_backend["serial"]["stage_s"]
-        for backend_name in BACKEND_NAMES:
+        for backend_name in backends:
             entry = per_backend[backend_name]
             entry["speedup_vs_serial"] = (
                 serial_total / entry["total_s"] if entry["total_s"] > 0 else float("inf")
@@ -314,6 +355,14 @@ def main(argv=None) -> int:
         help="PageRank iterations for the BSP runs",
     )
     parser.add_argument(
+        "--backend", action="append", dest="backends", choices=KNOWN_BACKENDS,
+        metavar="NAME", default=None,
+        help="backend to time (repeatable; choices: %(choices)s). Replaces "
+        "the default set {serial,thread,process}; 'serial' is always kept "
+        "as the reference. '--backend socket' times the multi-node TCP "
+        "backend on spawned localhost workers.",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="run one extra traced best-of pass per (app, backend) and add "
         "trace overhead + load-balance stats (straggler ratio, per-stage "
@@ -336,12 +385,19 @@ def main(argv=None) -> int:
 
     ncpus = cpus_available()
     configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    if args.backends is None:
+        backends = list(DEFAULT_BACKENDS)
+    else:
+        # serial stays in as the speedup reference; keep request order.
+        backends = ["serial"] + [
+            b for b in dict.fromkeys(args.backends) if b != "serial"
+        ]
     records = []
     notes = []
     threshold = args.check_speedup if args.check_speedup is not None else 1.5
     for name, gen_kwargs, p in configs:
         rec = run_config(
-            name, gen_kwargs, p, args.repeats, args.pagerank_iters,
+            name, gen_kwargs, p, args.repeats, args.pagerank_iters, backends,
             trace=args.trace,
         )
         records.append(rec)
@@ -349,7 +405,7 @@ def main(argv=None) -> int:
             row = rec["apps"][app]
             line = " ".join(
                 f"{b}={row[b]['total_s']:.3f}s({row[b]['speedup_vs_serial']:.2f}x)"
-                for b in BACKEND_NAMES
+                for b in backends
             )
             print(
                 f"{name:20s} {app:8s} p={rec['num_parts']:<3d} "
@@ -358,14 +414,27 @@ def main(argv=None) -> int:
             if args.trace:
                 trace_line = " ".join(
                     f"{b}=+{100 * (row[b]['trace']['trace_overhead'] - 1):.1f}%"
-                    for b in BACKEND_NAMES
+                    for b in backends
                 )
-                print(
-                    f"{'':20s} {'':8s} trace overhead {trace_line}  "
-                    f"straggler(process)="
-                    f"{row['process']['trace']['straggler_ratio']:.3f}"
+                parallel = [b for b in backends if b != "serial"]
+                straggler = (
+                    f"  straggler({parallel[-1]})="
+                    f"{row[parallel[-1]]['trace']['straggler_ratio']:.3f}"
+                    if parallel
+                    else ""
                 )
-            if row["process"]["speedup_vs_serial"] < threshold:
+                print(f"{'':20s} {'':8s} trace overhead {trace_line}{straggler}")
+                for b in parallel:
+                    wire_s = row[b].get("trace", {}).get("wire_s")
+                    if wire_s:
+                        wire_line = " ".join(
+                            f"{k}={v:.3f}s" for k, v in wire_s.items()
+                        )
+                        print(f"{'':20s} {'':8s} wire walls ({b}) {wire_line}")
+            if (
+                "process" in backends
+                and row["process"]["speedup_vs_serial"] < threshold
+            ):
                 notes.append(speedup_note(rec, app, ncpus, threshold))
 
     payload = {
@@ -375,7 +444,7 @@ def main(argv=None) -> int:
         "numpy": np.__version__,
         "cpus_available": ncpus,
         "apps": list(APPS_UNDER_TEST),
-        "backends": list(BACKEND_NAMES),
+        "backends": list(backends),
         "speedup_notes": notes,
         "results": records,
     }
@@ -398,11 +467,11 @@ def main(argv=None) -> int:
         # tracing must not make the benchmark suite materially slower.
         plain_total = sum(
             r["apps"][app][b]["total_s"]
-            for r in records for app in APPS_UNDER_TEST for b in BACKEND_NAMES
+            for r in records for app in APPS_UNDER_TEST for b in backends
         )
         traced_total = sum(
             r["apps"][app][b]["trace"]["traced_total_s"]
-            for r in records for app in APPS_UNDER_TEST for b in BACKEND_NAMES
+            for r in records for app in APPS_UNDER_TEST for b in backends
         )
         aggregate = traced_total / plain_total if plain_total > 0 else 1.0
         payload["trace_overhead_aggregate"] = aggregate
@@ -411,7 +480,7 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: aggregate tracing overhead "
                 f"+{100 * (aggregate - 1):.1f}% across "
-                f"{len(records) * len(APPS_UNDER_TEST) * len(BACKEND_NAMES)} "
+                f"{len(records) * len(APPS_UNDER_TEST) * len(backends)} "
                 f"entries (limit +{args.check_overhead:.1f}%)",
                 file=sys.stderr,
             )
@@ -422,6 +491,13 @@ def main(argv=None) -> int:
         )
 
     if args.check_speedup is not None:
+        if "process" not in backends:
+            print(
+                "--check-speedup gates the process backend, which is not in "
+                "the selected --backend set",
+                file=sys.stderr,
+            )
+            return 1
         if ncpus < 2:
             print(
                 f"speedup check skipped: {ncpus} CPU schedulable; see "

@@ -10,8 +10,8 @@ barrier; the slowest worker determines superstep wall time).
 
 The engine owns the superstep *orchestration* — sequencing, convergence,
 accounting, checkpointing — while both per-superstep stages execute on
-a pluggable :mod:`repro.runtime` backend (``serial``, ``thread`` or
-``process``), all of which produce bit-identical results.  Each
+a pluggable :mod:`repro.runtime` backend (``serial``, ``thread``,
+``process`` or ``socket``), all of which produce bit-identical results.  Each
 superstep is ``compute_stage`` → ``exchange_stage`` → convergence
 check: the computation stage runs every worker's sequential algorithm,
 and the exchange stage runs the replica exchange *in the workers* too,
@@ -198,7 +198,8 @@ class BSPEngine:
     backend:
         Superstep-stage executor: a :class:`repro.runtime.Backend`
         instance, a backend name (``"serial"``, ``"thread"``,
-        ``"process"``), or ``None`` for the serial reference.  Backends
+        ``"process"``, ``"socket"``), or ``None`` for the serial
+        reference.  Backends
         change wall-clock time only — results and cost-model accounting
         are identical across all of them.
     checkpoint_dir:
@@ -219,6 +220,16 @@ class BSPEngine:
         it, and the checkpoint writer records snapshot spans and byte
         counters.  ``None`` (the default) costs nothing per superstep
         and perturbs neither results nor cost-model accounting.
+    max_recoveries:
+        How many worker-loss events
+        (:class:`~repro.runtime.base.WorkerLostError`) the engine may
+        absorb per ``run()`` before re-raising.  Recovery requires a
+        ``checkpoint_dir`` and a session that supports it (the socket
+        backend's spawned-local mode): the engine restores the newest
+        fingerprint-valid snapshot onto a freshly respawned worker pool
+        via ``push_state`` and replays from that boundary — bit-identical
+        to an uninterrupted run, exactly like a manual resume.  The
+        default ``0`` keeps worker death fail-fast on every backend.
     """
 
     def __init__(
@@ -230,6 +241,7 @@ class BSPEngine:
         checkpoint_every: int = 1,
         checkpoint_keep: Optional[int] = 2,
         recorder=None,
+        max_recoveries: int = 0,
     ):
         self.cost_model = cost_model or CostModel()
         self.max_supersteps = max_supersteps
@@ -238,6 +250,9 @@ class BSPEngine:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_keep = checkpoint_keep
         self.recorder = NULL_RECORDER if recorder is None else recorder
+        if max_recoveries < 0:
+            raise ValueError(f"max_recoveries must be >= 0, got {max_recoveries}")
+        self.max_recoveries = max_recoveries
         if checkpoint_dir is not None:
             # Fail on a bad cadence/retention at construction, not at
             # the first superstep boundary of a long run.
@@ -281,6 +296,7 @@ class BSPEngine:
         if program.mode not in (MINIMIZE, ACCUMULATE):
             raise ValueError(f"unknown program mode {program.mode!r}")
         backend = self._resolve_backend()
+        from ..runtime.base import WorkerLostError
 
         writer = None
         snapshot = None
@@ -290,7 +306,6 @@ class BSPEngine:
                 CheckpointWriter,
                 compute_fingerprint,
                 load_snapshot,
-                restore_state,
                 verify_fingerprint,
             )
 
@@ -331,12 +346,66 @@ class BSPEngine:
             )
             done = False
             if snapshot is not None:
-                restore_state(session.state, snapshot.arrays)
+                session.push_state(snapshot.arrays)
                 run.supersteps = list(snapshot.supersteps)
                 run.resumed_from = snapshot.superstep
                 done = snapshot.done
             ckpt = _CheckpointHook(writer, fingerprint, session)
-            return self._superstep_loop(dgraph, program, session, run, done, ckpt)
+            recoveries = 0
+            while True:
+                try:
+                    return self._superstep_loop(
+                        dgraph, program, session, run, done, ckpt
+                    )
+                except WorkerLostError:
+                    recovery = self._recovery_snapshot(
+                        session, writer, fingerprint, recoveries
+                    )
+                    if recovery is None:
+                        raise
+                    recoveries += 1
+                    # Respawn the dead workers, then rewind the *whole*
+                    # pool — survivors have advanced past the snapshot
+                    # boundary; replaying everyone from the same restored
+                    # arrays is what keeps the recovered run
+                    # bit-identical to an uninterrupted one.
+                    with self.recorder.span("recover", cat="recover"):
+                        session.recover_workers()
+                        session.push_state(recovery.arrays)
+                    run.supersteps = list(recovery.supersteps)
+                    done = recovery.done
+
+    def _recovery_snapshot(self, session, writer, fingerprint, recoveries):
+        """The snapshot to rewind to after a lost worker, or ``None``.
+
+        ``None`` means "don't recover, re-raise": the recovery budget is
+        spent, no checkpoint directory is configured, the session cannot
+        replace workers (every backend except spawned-local socket), or
+        no fingerprint-valid snapshot exists on disk yet (worker death
+        before the first checkpoint boundary).
+        """
+        if (
+            recoveries >= self.max_recoveries
+            or writer is None
+            or self.checkpoint_dir is None
+            or not getattr(session, "supports_recovery", False)
+        ):
+            return None
+        from ..checkpoint import (
+            CheckpointError,
+            list_snapshots,
+            load_snapshot,
+            verify_fingerprint,
+        )
+
+        for path in reversed(list_snapshots(self.checkpoint_dir)):
+            try:
+                snap = load_snapshot(path)
+                verify_fingerprint(snap.fingerprint, fingerprint)
+            except CheckpointError:
+                continue  # torn or foreign snapshot: try the next-newest
+            return snap
+        return None
 
     # ------------------------------------------------------------------
     # The backend-agnostic superstep loop (both modes, fresh and resumed)
@@ -362,13 +431,16 @@ class BSPEngine:
         touches replica routes itself.
         """
         minimize = program.mode == MINIMIZE
-        state = session.state
         rec = session.recorder
         for step in range(run.num_supersteps, self.max_supersteps):
             if resumed_done:
                 break
             step_t0 = monotonic_ns()
-            quiescent = minimize and not any(bool(a.any()) for a in state.active)
+            # Activity is asked of the *session*, not read out of state
+            # arrays: state-owning backends (socket) answer from the
+            # activity bits piggybacked on stage replies instead of
+            # shipping O(|V|) arrays per check.
+            quiescent = minimize and not session.any_active()
             pre_check_ns = monotonic_ns() - step_t0
             if quiescent:
                 break  # quiescent before the step: nothing left to do
@@ -393,14 +465,18 @@ class BSPEngine:
             # loop did besides the two stages.
             t0 = monotonic_ns()
             if minimize:
-                converged = not any(bool(a.any()) for a in state.active)
+                converged = not session.any_active()
             else:
                 converged = program.has_converged(step, exchange.delta)
             t1 = monotonic_ns()
             t_converge = (pre_check_ns + (t1 - t0)) * 1e-9
             if rec.enabled:
                 rec.add("converge", t0, t1, superstep=step)
-                self._record_superstep_metrics(rec, exchange, state)
+                # Free for in-process backends (pull_state returns the
+                # session's own arrays); an explicit per-superstep wire
+                # pull for the socket backend — an observability cost
+                # paid only under tracing, visible as wire.pull_state.
+                self._record_superstep_metrics(rec, exchange, session.pull_state())
 
             run.supersteps.append(
                 self._stats(
@@ -429,7 +505,7 @@ class BSPEngine:
             ckpt.finalize(run)
         with rec.span("gather"):
             run.values = dgraph.gather_master_values(
-                state.values, default=0 if minimize else 0.0
+                session.pull_state().values, default=0 if minimize else 0.0
             )
         if rec.enabled:
             rss = sample_peak_rss_kb()
@@ -518,7 +594,7 @@ class _CheckpointHook:
                 "num_workers": run.num_workers,
                 "backend": run.backend,
             },
-            state=self._session.state,
+            state=self._session.pull_state(),
             supersteps=run.supersteps,
         )
 

@@ -292,6 +292,27 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=registries.EXPERIMENTS.names())
     exp.add_argument("--scale", type=float, default=None)
 
+    work = sub.add_parser(
+        "worker",
+        help="serve one standalone socket-backend worker "
+        "(pair with --backend 'socket?workers=...' on the coordinator)",
+    )
+    work.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to bind (port 0 picks a free port; the bound "
+        "address is announced on stdout)",
+    )
+    work.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of coordinator sessions to serve before exiting "
+        "(0 = serve forever; default 1)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the domain-aware static-analysis pass over src/repro",
@@ -641,6 +662,27 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _cmd_worker(args) -> int:
+    from .runtime.socket import serve_worker
+    from .runtime.wire import parse_hostport
+
+    if args.sessions < 0:
+        print("error: --sessions must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        parse_hostport(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return serve_worker(args.listen, sessions=args.sessions)
+    except OSError as exc:  # bind failure: port busy, bad interface, ...
+        print(f"error: cannot listen on {args.listen}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -655,6 +697,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "worker": _cmd_worker,
     }[args.command]
     return handler(args)
 

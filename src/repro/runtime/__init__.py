@@ -31,7 +31,7 @@ changed / partials) and two operations:
     tallies return through the stage barrier as an
     :class:`~repro.runtime.base.ExchangeResult`.
 
-Three backends ship:
+Four backends ship:
 
 ``serial``
     The reference and bit-identity oracle: workers run sequentially in
@@ -45,6 +45,15 @@ Three backends ship:
     :class:`~repro.bsp.distributed.LocalSubgraph`, program and inbound
     route slices once, at session start, and holds them for the whole
     run.
+``socket``
+    Workers as fully independent processes behind framed TCP
+    (:mod:`repro.runtime.socket`) — spawned locally by the session or
+    launched standalone on other machines via ``repro worker``.  Each
+    worker allocates and owns its shard's state for the whole run; the
+    coordinator never holds O(|V|·p) state, exchanges move
+    change-compacted route slices over the wire, and dead workers
+    surface as :class:`~repro.runtime.base.WorkerLostError` with a
+    checkpoint-restore recovery path in the engine.
 
 Shared-memory layout (process backend)
 --------------------------------------
@@ -104,6 +113,7 @@ from .base import (
     ExchangeScratch,
     RoutePlan,
     SharedArraySession,
+    WorkerLostError,
     WorkerState,
     allocate_scratch,
     allocate_state,
@@ -113,7 +123,9 @@ from .base import (
     finish_exchange_stage,
 )
 from .process import ProcessBackend
+from .protocol import DEFAULT_STAGE_TIMEOUT, CommandSession
 from .serial import SerialBackend
+from .socket import SocketBackend, serve_worker
 from .threads import ThreadBackend
 from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
 
@@ -121,6 +133,10 @@ __all__ = [
     "Backend",
     "BackendError",
     "BackendSession",
+    "CommandSession",
+    "DEFAULT_STAGE_TIMEOUT",
+    "WorkerLostError",
+    "serve_worker",
     "SharedArraySession",
     "WorkerState",
     "ExchangeScratch",
@@ -139,6 +155,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "SocketBackend",
     "BACKEND_TYPES",
     "create_backend",
 ]
@@ -149,6 +166,7 @@ BACKEND_TYPES = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    SocketBackend.name: SocketBackend,
 }
 
 

@@ -62,6 +62,7 @@ from .worker import superstep_compute, superstep_exchange_down, superstep_exchan
 
 __all__ = [
     "BackendError",
+    "WorkerLostError",
     "WorkerState",
     "ExchangeScratch",
     "ComputeStageResult",
@@ -71,7 +72,9 @@ __all__ = [
     "SharedArraySession",
     "Backend",
     "allocate_state",
+    "allocate_local_state",
     "allocate_scratch",
+    "allocate_local_scratch",
     "build_route_plan",
     "assemble_exchange",
     "finish_compute_stage",
@@ -81,6 +84,21 @@ __all__ = [
 
 class BackendError(RuntimeError):
     """A backend worker failed or its pool is unusable."""
+
+
+class WorkerLostError(BackendError):
+    """A worker process died (or its connection dropped) mid-run.
+
+    Subclasses :class:`BackendError` so existing crash handling keeps
+    working; carries the dead worker's id so the engine's recovery path
+    (:meth:`repro.bsp.engine.BSPEngine.run` with ``max_recoveries``)
+    can respawn exactly the lost shard from the last fingerprint-valid
+    checkpoint snapshot.
+    """
+
+    def __init__(self, worker_id: int, message: str):
+        super().__init__(message)
+        self.worker_id = worker_id
 
 
 @dataclass
@@ -369,6 +387,47 @@ class BackendSession(abc.ABC):
         dirty masks the up phase writes on *other* workers.
         """
 
+    # -- engine-facing state access ------------------------------------
+    #
+    # The engine never dereferences ``session.state`` directly: these
+    # three hooks are its whole view of worker state, with defaults that
+    # read the in-process arrays.  Backends whose state lives elsewhere
+    # (the socket backend keeps every shard worker-side) override them,
+    # which is what lets the coordinator avoid ever holding O(|V|·p)
+    # state outside checkpoint boundaries and the final gather.
+
+    def any_active(self) -> bool:
+        """Whether any worker still has an active vertex (minimize mode).
+
+        Drives the engine's quiescence pre-check and convergence check;
+        only meaningful for minimize-mode programs.
+        """
+        active = self.state.active
+        return active is not None and any(bool(a.any()) for a in active)
+
+    def pull_state(self) -> WorkerState:
+        """Assemble the full per-worker state for the coordinator.
+
+        Used at checkpoint boundaries, for the final gather, and for
+        traced per-superstep metrics.  In-process backends return their
+        live arrays (zero copies); remote backends gather shards from
+        their workers, so callers must treat the result as a snapshot,
+        not a live view.
+        """
+        return self.state
+
+    def push_state(self, arrays) -> None:
+        """Restore snapshot ``arrays`` (kind -> per-worker list) in place.
+
+        The checkpoint-resume and worker-recovery entry point: validates
+        shapes/dtypes against the session's allocation before touching
+        anything, exactly like :func:`repro.checkpoint.restore_state`
+        (which the default delegates to).
+        """
+        from ..checkpoint import restore_state
+
+        restore_state(self.state, arrays)
+
     def close(self) -> None:
         """Release the session's resources (idempotent)."""
 
@@ -404,6 +463,39 @@ def _copy_alloc(worker_id: int, kind: str, template: np.ndarray) -> np.ndarray:
     return np.array(template, copy=True)
 
 
+def allocate_local_state(
+    local,
+    program: SubgraphProgram,
+    worker_id: int = 0,
+    alloc: AllocFn = _copy_alloc,
+) -> dict:
+    """Allocate one worker's initial state arrays, keyed by kind.
+
+    The single definition of per-worker initialization semantics —
+    ``initial_values``/``initial_active``, zeroed partials, cleared
+    change masks.  :func:`allocate_state` loops this over every worker
+    for in-process backends; the socket backend's *workers* call it
+    directly for their own shard, which is what keeps remotely
+    initialized state bit-identical to the serial reference.
+    """
+    if program.mode not in (MINIMIZE, ACCUMULATE):
+        raise ValueError(f"unknown program mode {program.mode!r}")
+    init = np.asarray(program.initial_values(local))
+    arrays = {
+        "values": alloc(worker_id, "values", init),
+        "changed": alloc(
+            worker_id, "changed", np.zeros(local.num_vertices, dtype=bool)
+        ),
+    }
+    if program.mode == MINIMIZE:
+        arrays["active"] = alloc(
+            worker_id, "active", np.asarray(program.initial_active(local))
+        )
+    else:
+        arrays["partials"] = alloc(worker_id, "partials", np.zeros_like(init))
+    return arrays
+
+
 def allocate_state(
     dgraph: DistributedGraph,
     program: SubgraphProgram,
@@ -413,9 +505,8 @@ def allocate_state(
 
     ``alloc`` lets backends choose the storage (plain heap arrays by
     default, shared-memory-backed arrays for the process backend) while
-    the initialization semantics — ``initial_values``/``initial_active``
-    per worker, zeroed partials, cleared change masks — stay in one
-    place for every backend.
+    the initialization semantics stay in one place for every backend
+    (see :func:`allocate_local_state`).
     """
     if program.mode not in (MINIMIZE, ACCUMULATE):
         raise ValueError(f"unknown program mode {program.mode!r}")
@@ -424,13 +515,13 @@ def allocate_state(
     active: List[np.ndarray] = []
     partials: List[np.ndarray] = []
     for w, local in enumerate(dgraph.locals):
-        init = np.asarray(program.initial_values(local))
-        values.append(alloc(w, "values", init))
-        changed.append(alloc(w, "changed", np.zeros(local.num_vertices, dtype=bool)))
+        arrays = allocate_local_state(local, program, w, alloc)
+        values.append(arrays["values"])
+        changed.append(arrays["changed"])
         if program.mode == MINIMIZE:
-            active.append(alloc(w, "active", np.asarray(program.initial_active(local))))
+            active.append(arrays["active"])
         else:
-            partials.append(alloc(w, "partials", np.zeros_like(init)))
+            partials.append(arrays["partials"])
     return WorkerState(
         values=values,
         changed=changed,
@@ -455,15 +546,39 @@ def allocate_scratch(
     """
     if program.mode == MINIMIZE:
         dirty = [
-            alloc(w, "dirty", np.zeros(local.num_vertices, dtype=bool))
+            allocate_local_scratch(local, program, state.values[w], w, alloc)["dirty"]
             for w, local in enumerate(dgraph.locals)
         ]
         return ExchangeScratch(dirty=dirty)
     sums = [
-        alloc(w, "sums", np.zeros_like(state.values[w]))
+        allocate_local_scratch(
+            dgraph.locals[w], program, state.values[w], w, alloc
+        )["sums"]
         for w in range(dgraph.num_workers)
     ]
     return ExchangeScratch(sums=sums)
+
+
+def allocate_local_scratch(
+    local,
+    program: SubgraphProgram,
+    values: np.ndarray,
+    worker_id: int = 0,
+    alloc: AllocFn = _copy_alloc,
+) -> dict:
+    """Allocate one worker's exchange scratch, keyed by kind.
+
+    ``values`` is that worker's already-allocated value array (the
+    shape/dtype template for accumulate-mode ``sums``).  Shared by
+    :func:`allocate_scratch` and the socket backend's workers.
+    """
+    if program.mode == MINIMIZE:
+        return {
+            "dirty": alloc(
+                worker_id, "dirty", np.zeros(local.num_vertices, dtype=bool)
+            )
+        }
+    return {"sums": alloc(worker_id, "sums", np.zeros_like(values))}
 
 
 class SharedArraySession(BackendSession):

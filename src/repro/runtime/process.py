@@ -17,9 +17,15 @@ barriers ("compute" → work units, "exchange_up" → pull tallies + delta,
 
 Crash containment: a child that raises ships its formatted traceback
 back through the pipe and the parent raises :class:`BackendError`; a
-child that dies outright surfaces as ``EOFError`` on the pipe, reported
-with its exit code.  Session teardown (and a ``weakref.finalize``
-safety net) stops the pool and unlinks every shared block.
+child that dies outright surfaces as ``EOFError`` on the pipe, raised
+as :class:`WorkerLostError` with its exit code.  Stage replies are
+awaited with the shared :class:`~repro.runtime.protocol.CommandSession`
+timeout-and-latch semantics (a hung child raises instead of blocking
+forever; a failed session refuses further stage calls).  Session
+teardown (and a ``weakref.finalize`` safety net) stops the pool —
+joining survivors under a shared deadline and escalating to
+``terminate()`` then ``kill()`` for stragglers — and unlinks every
+shared block even when only a subset of workers died.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import weakref
 from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 from multiprocessing.shared_memory import SharedMemory
-from time import monotonic_ns
+from time import monotonic, monotonic_ns
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -39,10 +45,10 @@ from ..bsp.distributed import DistributedGraph
 from ..bsp.program import SubgraphProgram
 from .base import (
     Backend,
-    BackendError,
     BackendSession,
     ComputeStageResult,
     ExchangeResult,
+    WorkerLostError,
     WorkerState,
     allocate_scratch,
     allocate_state,
@@ -50,6 +56,7 @@ from .base import (
     finish_compute_stage,
     finish_exchange_stage,
 )
+from .protocol import CommandSession, ReplyTimeout
 from .shm import SharedArraySpec, attach_shared_array, create_shared_array, destroy_shared_array
 from .worker import superstep_compute, superstep_exchange_down, superstep_exchange_up
 
@@ -147,19 +154,49 @@ def _worker_main(conn) -> None:
             pass
 
 
+def _join_all(processes, budget: float) -> None:
+    """Join every live child under one *shared* deadline.
+
+    The historical per-process ``join(timeout=...)`` serialized the
+    waits: with ``p`` hung children teardown took ``p * timeout``.  A
+    shared deadline bounds the whole phase regardless of how many
+    workers are wedged or already dead.
+    """
+    deadline = monotonic() + budget
+    for proc in processes:
+        remaining = deadline - monotonic()
+        if remaining <= 0:
+            break
+        if proc.is_alive():
+            proc.join(timeout=remaining)
+
+
 def _cleanup(processes, conns, shm_blocks) -> None:
-    """Tear the pool down; safe to call twice and from a finalizer."""
+    """Tear the pool down; safe to call twice, from a finalizer, and
+    when only a subset of workers is still alive.
+
+    Escalation is uniform for every straggler: "stop" command → join
+    (shared deadline) → ``terminate()`` → join → ``kill()`` → join.
+    Shared blocks are unlinked last, after every child that could map
+    them is gone, so the resource tracker never reports leaked
+    ``shared_memory`` blocks for a partially-dead pool.
+    """
     for conn in conns:
         try:
             conn.send(("stop", None))
         except Exception:
             pass
-    for proc in processes:
-        proc.join(timeout=_JOIN_TIMEOUT)
-    for proc in processes:
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(timeout=_JOIN_TIMEOUT)
+    _join_all(processes, _JOIN_TIMEOUT)
+    for escalate in ("terminate", "kill"):
+        stragglers = [proc for proc in processes if proc.is_alive()]
+        if not stragglers:
+            break
+        for proc in stragglers:
+            try:
+                getattr(proc, escalate)()
+            except Exception:
+                pass
+        _join_all(stragglers, _JOIN_TIMEOUT)
     for conn in conns:
         try:
             conn.close()
@@ -172,7 +209,7 @@ def _cleanup(processes, conns, shm_blocks) -> None:
     shm_blocks.clear()
 
 
-class _ProcessSession(BackendSession):
+class _ProcessSession(CommandSession):
     backend_name = "process"
 
     def __init__(
@@ -180,8 +217,10 @@ class _ProcessSession(BackendSession):
         dgraph: DistributedGraph,
         program: SubgraphProgram,
         ctx: multiprocessing.context.BaseContext,
+        stage_timeout: Optional[float] = None,
     ):
         p = dgraph.num_workers
+        super().__init__(p, stage_timeout)
         self._shm_blocks: List[SharedMemory] = []
         self._specs: List[Dict[str, SharedArraySpec]] = [{} for _ in range(p)]
         self._processes: List[BaseProcess] = []
@@ -238,38 +277,30 @@ class _ProcessSession(BackendSession):
             self.close()
             raise
 
-    # ------------------------------------------------------------------
+    # -- CommandSession transport hooks --------------------------------
 
-    def _expect(self, w: int, expected: str, timeout: Optional[float] = None):
-        """Receive one reply from worker ``w``, raising on errors/death."""
+    def _send_to(self, w: int, message) -> None:
+        self._conns[w].send(message)
+
+    def _recv_from(self, w: int, timeout: Optional[float]):
         conn = self._conns[w]
         if timeout is not None and not conn.poll(timeout):
-            raise BackendError(
-                f"worker {w} did not answer within {timeout:.0f}s "
-                f"(alive={self._processes[w].is_alive()})"
-            )
+            raise ReplyTimeout()
         try:
-            status, payload = conn.recv()
+            return conn.recv()
         except EOFError:
             code = self._processes[w].exitcode
-            raise BackendError(
-                f"worker {w} died unexpectedly (exit code {code})"
+            raise WorkerLostError(
+                w, f"worker {w} died unexpectedly (exit code {code})"
             ) from None
-        if status == "error":
-            raise BackendError(f"worker {w} failed:\n{payload}")
-        if status != expected:  # pragma: no cover - protocol guard
-            raise BackendError(f"worker {w}: expected {expected!r}, got {status!r}")
-        return payload
 
-    def _broadcast(self, command: str, superstep: int) -> None:
-        """Send one stage command to every worker."""
-        if not self._finalizer.alive:
-            raise BackendError("session is closed")
-        for conn in self._conns:
-            try:
-                conn.send((command, superstep))
-            except (BrokenPipeError, OSError) as exc:
-                raise BackendError(f"worker pool is down: {exc}") from exc
+    def _worker_alive(self, w: int) -> bool:
+        return self._processes[w].is_alive()
+
+    def _is_closed(self) -> bool:
+        return not self._finalizer.alive
+
+    # ------------------------------------------------------------------
 
     def compute_stage(self, superstep: int = 0) -> ComputeStageResult:
         p = len(self._conns)
@@ -305,11 +336,20 @@ class ProcessBackend(Backend):
         available (cheap startup, Linux) and the platform default
         elsewhere.  ``"spawn"`` works everywhere but pays interpreter
         startup per worker.
+    stage_timeout:
+        Seconds to wait for each worker's stage reply before raising
+        :class:`~repro.runtime.base.BackendError` (default
+        :data:`~repro.runtime.protocol.DEFAULT_STAGE_TIMEOUT`); spec
+        form ``process?stage_timeout=120``.
     """
 
     name = "process"
 
-    def __init__(self, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        start_method: Optional[str] = None,
+        stage_timeout: Optional[float] = None,
+    ):
         available = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in available else None
@@ -319,9 +359,10 @@ class ProcessBackend(Backend):
                 f"choose from {available}"
             )
         self.start_method = start_method
+        self.stage_timeout = stage_timeout
 
     def session(
         self, dgraph: DistributedGraph, program: SubgraphProgram
     ) -> BackendSession:
         ctx = multiprocessing.get_context(self.start_method)
-        return _ProcessSession(dgraph, program, ctx)
+        return _ProcessSession(dgraph, program, ctx, stage_timeout=self.stage_timeout)

@@ -1,0 +1,166 @@
+"""The command/reply session protocol shared by process and socket backends.
+
+Both out-of-process backends drive their workers with the same
+conversation shape: the coordinator broadcasts one command per stage
+phase, every worker answers exactly one reply — ``("ok", payload)``,
+``("error", traceback_text)``, or transport death — and collecting the
+replies *is* the stage barrier.  :class:`CommandSession` owns that
+shape so its failure semantics are fixed in one place:
+
+**Stage timeouts.**  Every stage reply is awaited with a configurable
+``stage_timeout`` (default :data:`DEFAULT_STAGE_TIMEOUT`; overridable
+per backend spec, e.g. ``process?stage_timeout=120``).  A worker that
+hangs inside a kernel no longer blocks the coordinator forever: the
+wait raises :class:`~repro.runtime.base.BackendError` reporting which
+workers were still alive at that moment, which is the difference
+between "worker 3 is wedged" and "the whole pool is gone".
+
+**The failed latch.**  A :class:`~repro.runtime.base.BackendError`
+raised mid-broadcast or mid-collect leaves the conversation desynced:
+some workers already ran the stage, unread replies may still be queued.
+The first stage error therefore latches the session as *failed*, and
+every subsequent ``compute_stage``/``exchange_stage`` call raises
+``BackendError("session is failed")`` instead of silently exchanging
+mismatched frames.  ``close()`` always works; the socket backend's
+worker recovery explicitly resyncs (drains stale replies against an
+echo nonce) and clears the latch.
+
+Transports plug in underneath via four hooks — :meth:`_send_to`,
+:meth:`_recv_from`, :meth:`_worker_alive`, :meth:`_is_closed` — mapped
+onto pipes by the process backend and onto framed TCP sockets
+(:mod:`repro.runtime.wire`) by the socket backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from .base import BackendError, BackendSession, WorkerLostError
+
+__all__ = ["DEFAULT_STAGE_TIMEOUT", "ReplyTimeout", "CommandSession"]
+
+#: generous default for one stage reply: far above any kernel wall this
+#: repo's graphs produce, small enough that a wedged worker surfaces in
+#: minutes rather than never.
+DEFAULT_STAGE_TIMEOUT = 600.0
+
+
+class ReplyTimeout(Exception):
+    """Internal transport signal: no reply within the deadline.
+
+    Raised by :meth:`CommandSession._recv_from` implementations and
+    translated by :meth:`CommandSession._expect` into a
+    :class:`BackendError` that names the still-alive workers — never
+    escapes the session.
+    """
+
+
+class CommandSession(BackendSession):
+    """Base for sessions that drive workers over a command/reply link."""
+
+    def __init__(self, num_workers: int, stage_timeout: Optional[float] = None):
+        if stage_timeout is None:
+            stage_timeout = DEFAULT_STAGE_TIMEOUT
+        if stage_timeout <= 0:
+            raise ValueError(f"stage_timeout must be positive, got {stage_timeout}")
+        self._num_workers = num_workers
+        self._stage_timeout = float(stage_timeout)
+        self._failed = False
+
+    # -- transport hooks ------------------------------------------------
+
+    @abc.abstractmethod
+    def _send_to(self, w: int, message) -> None:
+        """Deliver one ``(command, payload)`` message to worker ``w``.
+
+        Raises ``OSError``-family errors when the transport is down.
+        """
+
+    @abc.abstractmethod
+    def _recv_from(self, w: int, timeout: Optional[float]) -> Tuple[str, object]:
+        """Receive one ``(status, payload)`` reply from worker ``w``.
+
+        Must raise :class:`WorkerLostError` when the worker is dead and
+        :class:`ReplyTimeout` when nothing arrived within ``timeout``.
+        """
+
+    @abc.abstractmethod
+    def _worker_alive(self, w: int) -> bool:
+        """Whether worker ``w``'s process/connection still looks alive."""
+
+    @abc.abstractmethod
+    def _is_closed(self) -> bool:
+        """Whether the session's resources have been torn down."""
+
+    # -- shared failure semantics --------------------------------------
+
+    def _check_usable(self) -> None:
+        """Gate every stage entry on the closed/failed latches."""
+        if self._is_closed():
+            raise BackendError("session is closed")
+        if self._failed:
+            raise BackendError("session is failed")
+
+    def _alive_workers(self) -> List[int]:
+        return [w for w in range(self._num_workers) if self._worker_alive(w)]
+
+    def _expect(self, w: int, expected: str, timeout: Optional[float] = None):
+        """Await worker ``w``'s reply; latch the session failed on error.
+
+        ``timeout`` overrides the stage timeout (session init passes its
+        own, longer handshake deadline).
+        """
+        if timeout is None:
+            timeout = self._stage_timeout
+        try:
+            reply = self._recv_from(w, timeout)
+        except WorkerLostError:
+            self._failed = True
+            raise
+        except ReplyTimeout:
+            self._failed = True
+            raise BackendError(
+                f"worker {w} did not answer within {timeout:.0f}s "
+                f"(alive workers: {self._alive_workers()}) — "
+                "a stage kernel is hung or the host is overloaded; "
+                "raise stage_timeout (e.g. backend spec "
+                "'process?stage_timeout=1200') if the latter"
+            ) from None
+        # A desynced or foreign peer can deliver any unpickled object
+        # (the socket transport imposes no shape); treat a non-pair
+        # reply as a protocol fault, not an unpacking crash.
+        if not (isinstance(reply, tuple) and len(reply) == 2):
+            self._failed = True
+            raise BackendError(
+                f"worker {w} sent a malformed reply ({type(reply).__name__}, "
+                f"expected a (status, payload) pair)"
+            )
+        status, payload = reply
+        if status == "error":
+            self._failed = True
+            raise BackendError(f"worker {w} failed:\n{payload}")
+        if status != expected:  # pragma: no cover - protocol guard
+            self._failed = True
+            raise BackendError(f"worker {w}: expected {expected!r}, got {status!r}")
+        return payload
+
+    def _post(self, w: int, command: str, payload) -> None:
+        """Send one command to one worker, latching failed on a dead link."""
+        try:
+            self._send_to(w, (command, payload))
+        except (BrokenPipeError, OSError) as exc:
+            self._failed = True
+            raise BackendError(f"worker pool is down: {exc}") from exc
+
+    def _broadcast(self, command: str, payload) -> None:
+        """Send one stage command to every worker (entry-checked)."""
+        self._check_usable()
+        for w in range(self._num_workers):
+            self._post(w, command, payload)
+
+    def _scatter(self, command: str, payloads: Sequence) -> None:
+        """Send one command with a *per-worker* payload to every worker."""
+        self._check_usable()
+        for w in range(self._num_workers):
+            self._post(w, command, payloads[w])

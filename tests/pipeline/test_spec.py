@@ -125,7 +125,7 @@ class TestBackendField:
         ) as excinfo:
             PipelineSpec(source="powerlaw", backend="gpu")
         # The message must teach the fix: list what exists.
-        assert "process, serial, thread" in str(excinfo.value)
+        assert "process, serial, socket, thread" in str(excinfo.value)
 
     def test_non_string_backend_rejected(self):
         with pytest.raises(SpecError, match="'backend' must be a spec string"):

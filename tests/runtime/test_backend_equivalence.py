@@ -4,8 +4,10 @@ The backend contract (see :mod:`repro.runtime`) is that parallelism may
 change wall-clock time only — final vertex values, superstep counts and
 the deterministic cost-model accounting must match the serial reference
 exactly.  This module sweeps the full ``APPS`` registry over seeded
-graphs at p ∈ {2, 4} for the ``serial``, ``thread`` and ``process``
-backends and asserts exactly that.
+graphs at p ∈ {2, 4} for the ``serial``, ``thread``, ``process`` and
+``socket`` backends and asserts exactly that — for the socket backend
+the values additionally round-trip a pickle/TCP wire, so this sweep is
+also the bit-identity proof for the route-compacted exchange protocol.
 """
 
 import numpy as np
@@ -16,7 +18,7 @@ from repro.graph import powerlaw_graph
 from repro.partition import EBVPartitioner
 from repro.pipeline import APPS
 
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "socket")
 PARTS = (2, 4)
 
 

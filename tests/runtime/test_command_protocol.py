@@ -1,0 +1,271 @@
+"""Failure semantics of the shared command/reply session protocol.
+
+Regression coverage for two coordinator-side bugs and one teardown
+hazard, exercised against *both* out-of-process backends:
+
+1. **Stage timeouts** — historically the reply timeout was applied only
+   to the init handshake; a worker hung inside a stage kernel blocked
+   the coordinator forever.  Now every stage reply honours a
+   configurable ``stage_timeout`` (spec ``process?stage_timeout=120``)
+   and a timeout raises :class:`BackendError` naming the workers that
+   were still alive.
+2. **The failed-session latch** — after a stage error the conversation
+   is desynced (unread replies may be queued); subsequent stage calls
+   must raise ``BackendError("session is failed")`` instead of
+   exchanging mismatched frames.
+3. **Partial-death teardown** — ``close()`` after a SIGKILLed subset of
+   workers must reap every survivor and (process backend) unlink every
+   shared-memory block without resource-tracker leak warnings.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.apps.cc import ConnectedComponents
+from repro.bsp import build_distributed_graph
+from repro.graph import powerlaw_graph
+from repro.partition import EBVPartitioner
+from repro.pipeline import BACKENDS
+from repro.runtime import (
+    BackendError,
+    ProcessBackend,
+    SocketBackend,
+    WorkerLostError,
+    wire,
+)
+
+
+class SleepyCC(ConnectedComponents):
+    """CC whose compute kernel wedges — the hung-worker injection.
+
+    Defined at module scope so it pickles into process-backend children
+    (fork shares the parent's modules) for the stage-timeout tests.
+    """
+
+    name = "sleepy-cc"
+
+    def compute(self, local, values, active, superstep):
+        time.sleep(60.0)
+        return super().compute(local, values, active, superstep)  # pragma: no cover
+
+
+class FakeSocketWorker(threading.Thread):
+    """A wire-correct worker that misbehaves after init.
+
+    Speaks the real handshake and acks ``init``, then either never
+    answers another command (``mode="silent"`` — a hung remote worker)
+    or answers with a non-``(status, payload)`` object
+    (``mode="malformed"`` — a desynced/foreign peer).
+    """
+
+    def __init__(self, mode: str):
+        super().__init__(daemon=True)
+        self.mode = mode
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self.listener.getsockname()[1]
+        self.stop_evt = threading.Event()
+
+    def run(self):
+        conn, _ = self.listener.accept()
+        try:
+            wire.send_hello(conn, "worker")
+            wire.expect_hello(conn, "coordinator", timeout=30.0)
+            cmd, _payload = wire.recv_msg(conn, timeout=30.0)
+            assert cmd == "init"
+            wire.send_msg(conn, ("ready", False))
+            wire.recv_msg(conn, timeout=30.0)  # the first stage command
+            if self.mode == "malformed":
+                wire.send_msg(conn, "this is not a (status, payload) pair")
+            self.stop_evt.wait(30.0)  # silent: hold the link open
+        except wire.WireError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self.stop_evt.set()
+        self.listener.close()
+        self.join(timeout=30)
+
+
+@pytest.fixture()
+def fake_pool(request):
+    """Two fake endpoint workers in the requested mode + their backend."""
+    workers = [FakeSocketWorker(request.param) for _ in range(2)]
+    for w in workers:
+        w.start()
+    endpoints = "+".join(f"127.0.0.1:{w.port}" for w in workers)
+    yield SocketBackend(workers=endpoints, stage_timeout=0.5)
+    for w in workers:
+        w.close()
+
+
+@pytest.fixture(scope="module")
+def dgraph():
+    g = powerlaw_graph(120, eta=2.2, min_degree=2, seed=11, name="proto-pl")
+    return build_distributed_graph(EBVPartitioner().partition(g, 2))
+
+
+@pytest.fixture(scope="module")
+def program():
+    return ConnectedComponents()
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: stage timeouts apply to stages, not just init
+# ----------------------------------------------------------------------
+
+
+def test_process_hung_worker_times_out_and_names_alive_workers(dgraph):
+    backend = ProcessBackend(stage_timeout=0.5)
+    with backend.session(dgraph, SleepyCC()) as session:
+        with pytest.raises(BackendError, match="did not answer within") as excinfo:
+            session.compute_stage(0)
+        # The report distinguishes "hung" from "dead": both children are
+        # alive, just wedged inside the sleeping kernel ...
+        assert "alive workers: [0, 1]" in str(excinfo.value)
+        # ... and teaches the spec knob for genuinely slow hosts.
+        assert "stage_timeout" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("fake_pool", ["silent"], indirect=True)
+def test_socket_hung_worker_times_out(fake_pool, dgraph, program):
+    with fake_pool.session(dgraph, program) as session:
+        with pytest.raises(BackendError, match="did not answer within"):
+            session.compute_stage(0)
+
+
+@pytest.mark.parametrize(
+    "spec", ["process?stage_timeout=120", "socket?stage_timeout=120"]
+)
+def test_stage_timeout_reaches_backend_through_spec(spec):
+    assert BACKENDS.create(spec).stage_timeout == 120
+
+
+@pytest.mark.parametrize("cls", [ProcessBackend, SocketBackend])
+def test_nonpositive_stage_timeout_rejected_at_session_start(cls, dgraph, program):
+    with pytest.raises(ValueError, match="stage_timeout"):
+        cls(stage_timeout=0).session(dgraph, program)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: the failed latch + the typed WorkerLostError
+# ----------------------------------------------------------------------
+
+
+def _kill_last_worker(session):
+    """SIGKILL the highest-id worker of either backend's session."""
+    procs = getattr(session, "_processes", None)
+    if procs is not None:  # process backend
+        os.kill(procs[-1].pid, signal.SIGKILL)
+        procs[-1].join(timeout=30)
+    else:  # socket backend (spawned-local)
+        session._procs[-1].kill()
+        session._procs[-1].wait(timeout=30)
+
+
+@pytest.mark.parametrize("backend_cls", [ProcessBackend, SocketBackend])
+def test_lost_worker_is_typed_and_latches_the_session(backend_cls, dgraph, program):
+    with backend_cls().session(dgraph, program) as session:
+        _kill_last_worker(session)
+        # Waiting on the dead worker's reply is the deterministic path
+        # to the typed error (a full stage call races the kill against
+        # the command send, which may surface as "worker pool is down").
+        with pytest.raises(WorkerLostError, match="died unexpectedly") as excinfo:
+            session._expect(1, "ok")
+        assert excinfo.value.worker_id == 1
+        assert isinstance(excinfo.value, BackendError)
+        # Every subsequent stage call refuses instead of desyncing.
+        with pytest.raises(BackendError, match="session is failed"):
+            session.compute_stage(1)
+        with pytest.raises(BackendError, match="session is failed"):
+            session.exchange_stage(1)
+    # context-manager exit: close() after the latch is clean.
+
+
+def test_hung_worker_also_latches_the_session(dgraph):
+    with ProcessBackend(stage_timeout=0.5).session(dgraph, SleepyCC()) as session:
+        with pytest.raises(BackendError, match="did not answer"):
+            session.compute_stage(0)
+        with pytest.raises(BackendError, match="session is failed"):
+            session.exchange_stage(0)
+
+
+@pytest.mark.parametrize("fake_pool", ["malformed"], indirect=True)
+def test_socket_malformed_reply_latches_instead_of_crashing(
+    fake_pool, dgraph, program
+):
+    """A peer shipping a non-(status, payload) object is a protocol
+    fault reported as BackendError, never a bare unpacking ValueError."""
+    with fake_pool.session(dgraph, program) as session:
+        with pytest.raises(BackendError, match="malformed reply"):
+            session.compute_stage(0)
+        with pytest.raises(BackendError, match="session is failed"):
+            session.compute_stage(1)
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: teardown with a partially-dead pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_cls", [ProcessBackend, SocketBackend])
+def test_close_reaps_survivors_after_partial_death(backend_cls, dgraph, program):
+    session = backend_cls().session(dgraph, program)
+    procs = list(getattr(session, "_processes", None) or session._procs)
+    _kill_last_worker(session)
+    session.close()
+    session.close()  # idempotent
+    for proc in procs:
+        alive = proc.is_alive() if hasattr(proc, "is_alive") else proc.poll() is None
+        assert not alive, "close() left a worker running"
+    with pytest.raises(BackendError, match="session is closed"):
+        session.compute_stage(0)
+
+
+_LEAK_SCRIPT = """
+import os, signal
+from repro.apps.cc import ConnectedComponents
+from repro.bsp import build_distributed_graph
+from repro.graph import powerlaw_graph
+from repro.partition import EBVPartitioner
+from repro.runtime import ProcessBackend
+
+g = powerlaw_graph(120, eta=2.2, min_degree=2, seed=11, name="leak-pl")
+dg = build_distributed_graph(EBVPartitioner().partition(g, 4))
+session = ProcessBackend().session(dg, ConnectedComponents())
+names = [spec.name for table in session._specs for spec in table.values()]
+session.compute_stage(0)
+# Kill half the pool, then tear down with survivors still mapped.
+for proc in session._processes[2:]:
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=30)
+session.close()
+for name in names:
+    assert not os.path.exists(os.path.join("/dev/shm", name)), name
+print("CLEAN", len(names))
+"""
+
+
+def test_partial_death_teardown_is_resource_tracker_quiet():
+    """Full-interpreter check: no 'leaked shared_memory' warnings on exit.
+
+    The resource tracker prints its leak report at interpreter shutdown,
+    so the assertion must run over a subprocess's stderr, not in-process.
+    """
+    result = subprocess.run(
+        [sys.executable, "-c", _LEAK_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "CLEAN" in result.stdout
+    assert "leaked" not in result.stderr.lower(), result.stderr

@@ -48,7 +48,9 @@ class TestCreateBackend:
         assert isinstance(create_backend("process"), ProcessBackend)
 
     def test_unknown_name_lists_available(self):
-        with pytest.raises(ValueError, match="unknown backend 'gpu'.*process, serial, thread"):
+        with pytest.raises(
+            ValueError, match="unknown backend 'gpu'.*process, serial, socket, thread"
+        ):
             create_backend("gpu")
 
     def test_engine_rejects_non_backend_object(self, dgraph):

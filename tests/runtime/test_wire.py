@@ -1,0 +1,247 @@
+"""The socket backend's frame protocol (:mod:`repro.runtime.wire`).
+
+Property tests over the framing layer — every payload round-trips
+exactly, including multi-frame sequences and payloads far past 64 KiB
+(multiple ``recv_into`` chunks) — plus the failure taxonomy the
+coordinator relies on to classify worker death: truncation mid-frame is
+:class:`FrameError`, a clean close at a frame boundary is
+:class:`ConnectionClosed`, silence is :class:`WireTimeout`, and a
+mismatched protocol version fails the handshake with
+:class:`ProtocolError` before any graph data moves.
+"""
+
+import pickle
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import wire
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(max_size=4096))
+def test_frame_round_trip(payload):
+    a, b = socket.socketpair()
+    try:
+        wire.send_frame(a, payload)
+        assert wire.recv_frame(b, timeout=5.0) == payload
+    finally:
+        a.close()
+        b.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    objs=st.lists(
+        st.one_of(
+            st.integers(),
+            st.text(max_size=64),
+            st.dictionaries(st.integers(0, 8), st.binary(max_size=32), max_size=4),
+            st.tuples(st.sampled_from(["ok", "error", "ready"]), st.integers()),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_msg_sequence_round_trip(objs):
+    """Back-to-back frames on one stream stay aligned (no desync)."""
+    a, b = socket.socketpair()
+    try:
+        for obj in objs:
+            wire.send_msg(a, obj)
+        for obj in objs:
+            assert wire.recv_msg(b, timeout=5.0) == obj
+    finally:
+        a.close()
+        b.close()
+
+
+def test_large_payload_round_trip(pair):
+    """Payloads far beyond 64 KiB survive chunked recv_into reassembly."""
+    a, b = pair
+    arrays = {
+        "values": np.arange(300_000, dtype=np.float64),
+        "changed": np.ones(300_000, dtype=bool),
+    }
+    done = threading.Event()
+    # > 2 MiB: larger than any socket buffer, so the sender must run
+    # concurrently with the receiver.
+    t = threading.Thread(target=lambda: (wire.send_msg(a, arrays), done.set()))
+    t.start()
+    got = wire.recv_msg(b, timeout=30.0)
+    t.join(timeout=30)
+    assert done.is_set()
+    assert np.array_equal(got["values"], arrays["values"])
+    assert np.array_equal(got["changed"], arrays["changed"])
+
+
+def test_empty_payload_round_trip(pair):
+    a, b = pair
+    wire.send_frame(a, b"")
+    assert wire.recv_frame(b, timeout=5.0) == b""
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy
+# ----------------------------------------------------------------------
+
+
+def test_clean_close_at_boundary_is_connection_closed(pair):
+    a, b = pair
+    wire.send_msg(a, ("ok", 1))
+    a.close()
+    assert wire.recv_msg(b, timeout=5.0) == ("ok", 1)
+    with pytest.raises(wire.ConnectionClosed):
+        wire.recv_msg(b, timeout=5.0)
+
+
+def test_truncated_frame_is_frame_error(pair):
+    """A peer dying mid-send is truncation, never a clean close."""
+    a, b = pair
+    payload = b"x" * 1000
+    header = struct.Struct(">4sQ").pack(b"RBW\x01", len(payload))
+    a.sendall(header + payload[:137])
+    a.close()
+    with pytest.raises(wire.FrameError, match="truncated"):
+        wire.recv_frame(b, timeout=5.0)
+
+
+def test_truncated_header_is_frame_error(pair):
+    a, b = pair
+    a.sendall(b"RBW")
+    a.close()
+    with pytest.raises(wire.FrameError, match="truncated"):
+        wire.recv_frame(b, timeout=5.0)
+
+
+def test_bad_magic_is_frame_error(pair):
+    a, b = pair
+    a.sendall(struct.Struct(">4sQ").pack(b"HTTP", 12) + b"x" * 12)
+    with pytest.raises(wire.FrameError, match="magic"):
+        wire.recv_frame(b, timeout=5.0)
+
+
+def test_oversize_frame_rejected_without_allocation(pair):
+    a, b = pair
+    a.sendall(struct.Struct(">4sQ").pack(b"RBW\x01", wire.MAX_FRAME_BYTES + 1))
+    with pytest.raises(wire.FrameError, match="exceeds"):
+        wire.recv_frame(b, timeout=5.0)
+
+
+def test_recv_cap_is_tunable(pair):
+    a, b = pair
+    wire.send_frame(a, b"y" * 2048)
+    with pytest.raises(wire.FrameError, match="exceeds"):
+        wire.recv_frame(b, timeout=5.0, max_bytes=1024)
+
+
+def test_undecodable_payload_is_frame_error(pair):
+    a, b = pair
+    wire.send_frame(a, b"\x80\x05 this is not a pickle")
+    with pytest.raises(wire.FrameError, match="undecodable"):
+        wire.recv_msg(b, timeout=5.0)
+
+
+def test_silence_is_wire_timeout(pair):
+    _a, b = pair
+    with pytest.raises(wire.WireTimeout):
+        wire.recv_frame(b, timeout=0.2)
+
+
+def test_trickle_cannot_reset_the_deadline(pair):
+    """The timeout covers the whole frame, not each chunk."""
+    a, b = pair
+    header = struct.Struct(">4sQ").pack(b"RBW\x01", 64)
+
+    def trickle():
+        for byte in header + b"z" * 8:  # never completes the frame
+            a.sendall(bytes([byte]))
+            if stop.wait(0.05):
+                return
+
+    stop = threading.Event()
+    t = threading.Thread(target=trickle)
+    t.start()
+    try:
+        with pytest.raises(wire.WireTimeout):
+            wire.recv_frame(b, timeout=0.5)
+    finally:
+        stop.set()
+        t.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+
+
+def test_hello_round_trip(pair):
+    a, b = pair
+    wire.send_hello(a, "worker")
+    msg = wire.expect_hello(b, "worker", timeout=5.0)
+    assert msg["version"] == wire.WIRE_VERSION
+
+
+def test_version_mismatch_is_protocol_error(pair):
+    a, b = pair
+    wire.send_msg(
+        a, {"kind": "repro-wire-hello", "version": wire.WIRE_VERSION + 1, "role": "worker"}
+    )
+    with pytest.raises(wire.ProtocolError, match="version mismatch"):
+        wire.expect_hello(b, "worker", timeout=5.0)
+
+
+def test_role_mismatch_is_protocol_error(pair):
+    """Two coordinators dialing each other fail fast instead of hanging."""
+    a, b = pair
+    wire.send_hello(a, "coordinator")
+    with pytest.raises(wire.ProtocolError, match="expected a 'worker' peer"):
+        wire.expect_hello(b, "worker", timeout=5.0)
+
+
+def test_non_hello_opening_is_protocol_error(pair):
+    a, b = pair
+    wire.send_msg(a, ("compute", 0))
+    with pytest.raises(wire.ProtocolError, match="did not open with a hello"):
+        wire.expect_hello(b, "worker", timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Address parsing
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec,expected",
+    [
+        ("localhost:7001", ("localhost", 7001)),
+        ("127.0.0.1:0", ("127.0.0.1", 0)),
+        ("node-3.cluster:65535", ("node-3.cluster", 65535)),
+    ],
+)
+def test_parse_hostport(spec, expected):
+    assert wire.parse_hostport(spec) == expected
+
+
+@pytest.mark.parametrize("spec", ["nohost", ":7001", "host:", "host:port", "h:70000"])
+def test_parse_hostport_rejects(spec):
+    with pytest.raises(ValueError):
+        wire.parse_hostport(spec)
