@@ -1,0 +1,126 @@
+"""Delta-mode apps: warm-started PageRank and CC for mutated graphs.
+
+Both programs are their batch parents with one change: the initial
+values come from a previous run instead of the cold prior, so the
+iteration only has to absorb the *delta* between the old and the
+mutated graph.  Everything else — compute, exchange, convergence — is
+inherited, which keeps the delta apps on every backend and under
+checkpoint/resume for free (``prev_values`` is a constructor parameter,
+so programs stay stateless and re-instantiable).
+
+Correctness contracts (enforced by ``tests/mutate/``'s differential
+harness):
+
+* :class:`IncrementalPageRank` — any starting vector converges to the
+  same damped-PageRank fixpoint (the iteration is a contraction), so a
+  warm start only changes *how many* supersteps are needed, never the
+  answer within tolerance.  Use :func:`repro.mutate.pr_warm_values` to
+  pad the previous ranks to the mutated vertex count.
+* :class:`IncrementalConnectedComponents` — min-label propagation
+  converges to the cold answer iff every initial label is the id of a
+  vertex inside the same (new) component and every component's minimum
+  vertex can still win.  Inserts only merge components, so stale labels
+  stay sound; deletes can split them, so every component touched by a
+  deletion must be reset to cold labels first.
+  :func:`repro.mutate.cc_warm_labels` computes exactly that array —
+  pass raw stale labels after a delete and the run may converge to a
+  wrong (unreachable) label.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bsp.distributed import LocalSubgraph
+from .cc import ConnectedComponents
+from .pagerank import PageRank
+
+__all__ = ["IncrementalPageRank", "IncrementalConnectedComponents"]
+
+
+def _local_warm(
+    base: np.ndarray, prev: Optional[np.ndarray], global_ids: np.ndarray
+) -> np.ndarray:
+    """Overlay previous global values onto a local allocation.
+
+    Vertices beyond the previous array (created by the mutation) keep
+    the cold initial value from ``base``.
+    """
+    if prev is None:
+        return base
+    known = global_ids < prev.shape[0]
+    base[known] = prev[global_ids[known]]
+    return base
+
+
+class IncrementalPageRank(PageRank):
+    """PageRank warm-started from a previous rank vector.
+
+    ``prev_values`` is the *global* rank array of a previous run (any
+    length ≤ the mutated |V|; missing tail vertices start at the
+    uniform prior).  ``None`` degrades to cold PageRank, so the
+    registry spec ``pr-delta`` is constructible bare.  The default
+    iteration budget is tolerance-governed (``max_iters=100``) rather
+    than the paper's fixed 20: a delta run is expected to stop early on
+    the convergence test, and the differential harness compares against
+    a cold run driven to the same tolerance.
+    """
+
+    name = "PR-delta"
+
+    def __init__(
+        self,
+        num_vertices: int,
+        prev_values: Optional[np.ndarray] = None,
+        damping: float = 0.85,
+        max_iters: int = 100,
+        tol: float = 1e-10,
+    ):
+        super().__init__(num_vertices, damping=damping, max_iters=max_iters, tol=tol)
+        if prev_values is not None:
+            prev_values = np.ascontiguousarray(prev_values, dtype=np.float64)
+            if prev_values.shape[0] > self.num_vertices:
+                raise ValueError(
+                    f"prev_values covers {prev_values.shape[0]} vertices but the "
+                    f"graph has only {self.num_vertices}; vertices never shrink "
+                    "under mutation"
+                )
+        self.prev_values = prev_values
+
+    def initial_values(self, local: LocalSubgraph) -> np.ndarray:
+        return _local_warm(
+            super().initial_values(local), self.prev_values, local.global_ids
+        )
+
+
+class IncrementalConnectedComponents(ConnectedComponents):
+    """CC warm-started from (reset-corrected) previous labels.
+
+    ``prev_values`` must be a *sound* warm label array for the mutated
+    graph: every label the id of a vertex in the same new component,
+    with deletion-touched components reset — i.e. the output of
+    :func:`repro.mutate.cc_warm_labels`.  ``None`` degrades to cold CC
+    (own-id labels), keeping the bare ``cc-delta`` spec constructible.
+    The result is bit-identical to a cold run on the mutated graph.
+    """
+
+    name = "CC-delta"
+
+    def __init__(
+        self,
+        prev_values: Optional[np.ndarray] = None,
+        local_convergence: bool = True,
+    ):
+        super().__init__(local_convergence=local_convergence)
+        self.prev_values = (
+            None
+            if prev_values is None
+            else np.ascontiguousarray(prev_values, dtype=np.int64)
+        )
+
+    def initial_values(self, local: LocalSubgraph) -> np.ndarray:
+        return _local_warm(
+            super().initial_values(local), self.prev_values, local.global_ids
+        )

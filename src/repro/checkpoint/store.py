@@ -157,8 +157,18 @@ def write_snapshot(
 
     ``keep`` prunes all but the newest ``keep`` snapshots after a
     successful write (``None`` keeps everything — the crash-matrix test
-    harness resumes from every boundary of one run).
+    harness resumes from every boundary of one run).  It must be an
+    integer >= 1 or ``None``: ``keep=0`` would make the post-write
+    prune delete every snapshot except the one just published — and the
+    final snapshot is useless for mid-run recovery, so retention of 0
+    silently breaks ``max_recoveries`` and ``repro resume``.
     """
+    if keep is not None and (isinstance(keep, bool) or not isinstance(keep, int) or keep < 1):
+        raise CheckpointError(
+            f"snapshot retention 'keep' must be an integer >= 1 or None "
+            f"(keep all), got {keep!r}; keep=0 would prune every snapshot "
+            "a recovery or resume could restore from"
+        )
     os.makedirs(root, exist_ok=True)
     final_dir = os.path.join(root, _step_dirname(superstep))
     tmp_dir = os.path.join(root, f".tmp-{_step_dirname(superstep)}-{os.getpid()}")

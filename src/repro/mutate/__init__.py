@@ -1,0 +1,45 @@
+"""Dynamic graphs: edge mutations with incremental partition maintenance.
+
+The ROADMAP's "Dynamic graphs" layer.  A :class:`MutationBatch` is an
+ordered list of edge inserts/deletes; :func:`apply_mutations` applies
+it to an existing vertex-cut :class:`~repro.partition.PartitionResult`
+by re-assigning **only the affected edges** through the streaming EBV
+core (warm-seeded from the surviving assignment, inserts fed through
+the same windowed machinery as live streams), with measured
+replication-factor drift vs. a full repartition and a
+``repartition_threshold`` escape hatch.  The on-disk twin —
+:func:`repro.stream.patch_spilled_partition` — patches a
+:class:`~repro.stream.SpilledPartition`'s shards in place.
+
+On top sit the warm-start helpers for the delta apps
+(:mod:`repro.apps.delta`): :func:`pr_warm_values` pads the previous
+PageRank vector, :func:`cc_warm_labels` resets every component a
+deletion touched so incremental CC stays bit-identical to a cold run
+(the differential harness under ``tests/mutate/`` enforces both).
+"""
+
+from ..stream.patch import patch_spilled_partition
+from .batch import DELETE, INSERT, MutationBatch, MutationError, ResolvedBatch
+from .incremental import (
+    DEFAULT_REPARTITION_THRESHOLD,
+    MutationResult,
+    apply_mutations,
+    cc_warm_labels,
+    mutated_graph,
+    pr_warm_values,
+)
+
+__all__ = [
+    "DEFAULT_REPARTITION_THRESHOLD",
+    "DELETE",
+    "INSERT",
+    "MutationBatch",
+    "MutationError",
+    "MutationResult",
+    "ResolvedBatch",
+    "apply_mutations",
+    "cc_warm_labels",
+    "mutated_graph",
+    "patch_spilled_partition",
+    "pr_warm_values",
+]

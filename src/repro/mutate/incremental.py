@@ -1,0 +1,319 @@
+"""Incremental partition maintenance and warm-start values under mutations.
+
+:func:`apply_mutations` turns ``(PartitionResult, MutationBatch)`` into
+a new partition of the mutated graph while re-assigning **only the
+affected edges**:
+
+* surviving edges keep their part — their placement cost is already
+  paid and the paper's evaluation function has no reason to move them;
+* deleted edges surrender their balance/replica contributions, which is
+  exact: the streaming state is *re-seeded* from the surviving
+  assignment (:meth:`StreamingEBVAssigner.seed`), not patched;
+* inserted edges are fed through :func:`repro.stream.windows` into the
+  warm assigner, so they are scored by the same greedy EBV evaluation
+  function against the live per-part counts and replica sets.
+
+The incremental path trades replication factor for work: it never
+revisits old edges, so its RF can drift above what a full repartition
+of the mutated graph would achieve.  The drift is *measured* —
+``compare_full=True`` runs the full repartition and reports
+``rf_after / rf_full`` — and *bounded operationally* by the
+``repartition_threshold`` escape hatch: when the batch touches more
+than that fraction of the mutated graph's edges, the layer falls back
+to a full repartition (``mode="repartition"``).  The committed
+``BENCH_mutate.json`` tracks the drift bound (≤ ~1.15 at ≤ 10% churn
+on powerlaw graphs).
+
+Warm-start helpers for the delta apps live here too:
+:func:`pr_warm_values` (pad the previous ranks) and
+:func:`cc_warm_labels` (reset every component touched by a deletion —
+the correctness condition incremental CC needs; see the function
+docstring for the argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..graph import Graph
+from ..partition import replication_factor
+from ..partition.base import VERTEX_CUT, PartitionResult
+from ..partition.streaming import StreamingEBVPartitioner
+from .batch import MutationBatch, MutationError, ResolvedBatch
+
+__all__ = [
+    "MutationResult",
+    "apply_mutations",
+    "mutated_graph",
+    "cc_warm_labels",
+    "pr_warm_values",
+    "DEFAULT_REPARTITION_THRESHOLD",
+]
+
+#: fraction of the mutated graph's edges a batch may touch before the
+#: incremental path gives way to a full repartition
+DEFAULT_REPARTITION_THRESHOLD = 0.25
+
+
+@dataclass
+class MutationResult:
+    """Outcome of :func:`apply_mutations`: new partition + drift metrics."""
+
+    graph: Graph
+    partition: PartitionResult
+    resolved: ResolvedBatch
+    #: "incremental" (affected edges only) or "repartition" (escape hatch)
+    mode: str
+    touched_fraction: float
+    repartition_threshold: float
+    #: edges actually pushed through the assigner this call
+    reassigned_edges: int
+    rf_before: float
+    rf_after: float
+    #: RF of a from-scratch repartition of the mutated graph (None
+    #: unless compare_full=True or the escape hatch fired)
+    rf_full: Optional[float] = None
+    #: rf_after / rf_full (1.0 exactly when mode == "repartition")
+    drift: Optional[float] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_inserted(self) -> int:
+        return self.resolved.num_inserted
+
+    @property
+    def num_deleted(self) -> int:
+        return self.resolved.num_removed
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe drift report (CLI/bench/CI artifact payload)."""
+        out: Dict[str, Any] = {
+            "mode": self.mode,
+            "num_inserted": self.num_inserted,
+            "num_deleted": self.num_deleted,
+            "num_cancelled": self.resolved.num_cancelled,
+            "num_edges_before": int(
+                self.graph.num_edges - self.num_inserted + self.num_deleted
+            ),
+            "num_edges_after": int(self.graph.num_edges),
+            "num_vertices_after": int(self.graph.num_vertices),
+            "touched_fraction": float(self.touched_fraction),
+            "repartition_threshold": float(self.repartition_threshold),
+            "reassigned_edges": int(self.reassigned_edges),
+            "rf_before": float(self.rf_before),
+            "rf_after": float(self.rf_after),
+        }
+        if self.rf_full is not None:
+            out["rf_full"] = float(self.rf_full)
+        if self.drift is not None:
+            out["drift"] = float(self.drift)
+        out.update(self.extras)
+        return out
+
+
+def mutated_graph(graph: Graph, resolved: ResolvedBatch) -> Graph:
+    """The post-batch graph: surviving edges in order, inserts appended.
+
+    Edge ids stay dense — survivors compact down in their original
+    relative order and inserted edges take the tail ids.  The vertex
+    set only grows (to the largest inserted endpoint).
+    """
+    if resolved.has_explicit_weights and graph.weights is None:
+        raise MutationError(
+            "batch carries edge weights but the graph is unweighted; "
+            "drop the weights or mutate a weighted graph"
+        )
+    keep = np.ones(graph.num_edges, dtype=bool)
+    keep[resolved.removed_ids] = False
+    new_src = np.concatenate([graph.src[keep], resolved.insert_src])
+    new_dst = np.concatenate([graph.dst[keep], resolved.insert_dst])
+    new_w = None
+    if graph.weights is not None:
+        new_w = np.concatenate([graph.weights[keep], resolved.insert_weights])
+    num_vertices = int(graph.num_vertices)
+    if resolved.num_inserted:
+        num_vertices = max(
+            num_vertices,
+            int(max(resolved.insert_src.max(), resolved.insert_dst.max())) + 1,
+        )
+    return Graph(
+        num_vertices,
+        new_src,
+        new_dst,
+        weights=new_w,
+        directed=True,
+        name=graph.name,
+    )
+
+
+def apply_mutations(
+    partition: PartitionResult,
+    batch: MutationBatch,
+    partitioner: Optional[StreamingEBVPartitioner] = None,
+    *,
+    repartition_threshold: float = DEFAULT_REPARTITION_THRESHOLD,
+    compare_full: bool = False,
+) -> MutationResult:
+    """Apply a mutation batch to a vertex-cut partition incrementally.
+
+    ``partitioner`` supplies the assigner core that scores the inserted
+    edges (and performs the full repartition when the escape hatch
+    fires); it must be warm-seedable — the streaming EBV family.  The
+    default re-assigns with a fresh :class:`StreamingEBVPartitioner`
+    regardless of which method produced ``partition``: seeding reads
+    the *assignment*, not the assigner's history, so maintaining e.g.
+    an offline-EBV partition with the streaming core is well defined.
+    """
+    from ..stream.driver import windows
+
+    if partition.kind != VERTEX_CUT:
+        raise MutationError(
+            f"apply_mutations maintains vertex-cut partitions; got kind "
+            f"{partition.kind!r} (method {partition.method!r})"
+        )
+    if not 0.0 <= repartition_threshold <= 1.0:
+        raise MutationError(
+            f"repartition_threshold must be in [0, 1], got {repartition_threshold!r}"
+        )
+    if partitioner is None:
+        partitioner = StreamingEBVPartitioner()
+    graph = partition.graph
+    resolved = batch.resolve_against(graph)
+    new_graph = mutated_graph(graph, resolved)
+    num_parts = partition.num_parts
+    m_new = new_graph.num_edges
+    touched = (resolved.num_removed + resolved.num_inserted) / max(m_new, 1)
+    rf_before = replication_factor(partition)
+
+    rf_full: Optional[float] = None
+    drift: Optional[float] = None
+    if num_parts == 1:
+        edge_parts = np.zeros(m_new, dtype=np.int64)
+        mode = "incremental"
+        reassigned = resolved.num_inserted
+    elif touched > repartition_threshold:
+        full = partitioner.partition(new_graph, num_parts)
+        edge_parts = full.edge_parts
+        mode = "repartition"
+        reassigned = m_new
+    else:
+        keep = np.ones(graph.num_edges, dtype=bool)
+        keep[resolved.removed_ids] = False
+        surviving_parts = partition.edge_parts[keep]
+        assigner = partitioner.streamer(num_parts)
+        if not hasattr(assigner, "seed"):
+            raise MutationError(
+                f"partitioner {getattr(partitioner, 'name', type(partitioner).__name__)!r} "
+                "has no warm-seedable assigner; incremental maintenance needs "
+                "the streaming EBV core (ebv-stream)"
+            )
+        n_surviving = surviving_parts.shape[0]
+        assigner.seed(
+            new_graph.src[:n_surviving],
+            new_graph.dst[:n_surviving],
+            surviving_parts,
+            num_vertices=new_graph.num_vertices,
+        )
+        insert_parts = [
+            assigner.assign(s, d)
+            for s, d, _ in windows(
+                [(resolved.insert_src, resolved.insert_dst, None)], assigner.window
+            )
+        ]
+        edge_parts = np.concatenate(
+            [surviving_parts] + insert_parts
+            if insert_parts
+            else [surviving_parts]
+        )
+        mode = "incremental"
+        reassigned = resolved.num_inserted
+
+    new_partition = PartitionResult(
+        new_graph,
+        num_parts,
+        edge_parts=np.ascontiguousarray(edge_parts, dtype=np.int64),
+        kind=VERTEX_CUT,
+        method=partition.method,
+    )
+    rf_after = replication_factor(new_partition)
+    if mode == "repartition":
+        rf_full = rf_after
+        drift = 1.0
+    elif compare_full:
+        rf_full = replication_factor(partitioner.partition(new_graph, num_parts))
+        drift = rf_after / max(rf_full, 1e-12)
+    return MutationResult(
+        graph=new_graph,
+        partition=new_partition,
+        resolved=resolved,
+        mode=mode,
+        touched_fraction=float(touched),
+        repartition_threshold=float(repartition_threshold),
+        reassigned_edges=int(reassigned),
+        rf_before=float(rf_before),
+        rf_after=float(rf_after),
+        rf_full=rf_full,
+        drift=drift,
+    )
+
+
+# ----------------------------------------------------------------------
+# Warm-start value helpers for the delta apps
+# ----------------------------------------------------------------------
+
+
+def pr_warm_values(prev_values: np.ndarray, num_vertices: int) -> np.ndarray:
+    """Previous PageRank vector padded to the mutated vertex count.
+
+    New vertices start at the uniform prior ``1/|V|`` of the *mutated*
+    graph; surviving vertices keep their converged ranks.  Any sound
+    starting point converges to the same fixpoint (the PageRank
+    iteration is a contraction), so this only buys supersteps — the
+    differential harness checks the result against a cold run to the
+    same tolerance.
+    """
+    prev = np.ascontiguousarray(prev_values, dtype=np.float64)
+    n = int(num_vertices)
+    if prev.shape[0] > n:
+        raise MutationError(
+            f"previous values cover {prev.shape[0]} vertices but the mutated "
+            f"graph has only {n}; vertices never shrink under mutation"
+        )
+    out = np.full(n, 1.0 / max(n, 1), dtype=np.float64)
+    out[: prev.shape[0]] = prev
+    return out
+
+
+def cc_warm_labels(prev_labels: np.ndarray, mutation: MutationResult) -> np.ndarray:
+    """Sound warm labels for incremental CC on the mutated graph.
+
+    Edge *inserts* only merge components, and every previous label is
+    the minimum vertex id of an old component — a subset of some new
+    component — so stale labels stay valid upper bounds and the
+    min-label iteration still converges to exactly the cold-run answer.
+    Edge *deletes* can split a component, leaving labels that reference
+    a vertex no longer reachable; every vertex whose old component
+    contained a deleted edge's endpoint is therefore reset to its own
+    id (the cold initial value) and recomputes from scratch.  Untouched
+    components keep their converged labels.  New vertices start at
+    their own id.
+    """
+    prev = np.ascontiguousarray(prev_labels, dtype=np.int64)
+    n = mutation.graph.num_vertices
+    if prev.shape[0] > n:
+        raise MutationError(
+            f"previous labels cover {prev.shape[0]} vertices but the mutated "
+            f"graph has only {n}; vertices never shrink under mutation"
+        )
+    labels = np.arange(n, dtype=np.int64)
+    labels[: prev.shape[0]] = prev
+    resolved = mutation.resolved
+    if resolved.num_removed:
+        endpoints = np.concatenate([resolved.removed_src, resolved.removed_dst])
+        affected = np.unique(prev[endpoints])
+        reset = np.isin(prev, affected)
+        labels[: prev.shape[0]][reset] = np.nonzero(reset)[0]
+    return labels

@@ -138,24 +138,38 @@ def write_jsonl_trace(recorder, path: str) -> str:
 
 def _normalize_chrome(document: Dict[str, Any]) -> Dict[str, Any]:
     events = []
+    dropped = 0
     for event in document.get("traceEvents", []):
-        if event.get("ph") != "X":
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        # A trace from a crashed run can hold torn events missing the
+        # required fields; drop them (counted in meta) instead of
+        # raising so the surviving spans still render partial tables.
+        if not all(k in event for k in ("name", "tid", "ts", "dur")):
+            dropped += 1
             continue
         tid = event["tid"]
         args = dict(event.get("args") or {})
+        try:
+            ts_us, dur_us = float(event["ts"]), float(event["dur"])
+        except (TypeError, ValueError):
+            dropped += 1
+            continue
         events.append(
             {
                 "name": event["name"],
                 "cat": event.get("cat", ""),
                 "worker": None if tid == 0 else tid - 1,
                 "superstep": args.pop("superstep", None),
-                "ts_us": float(event["ts"]),
-                "dur_us": float(event["dur"]),
+                "ts_us": ts_us,
+                "dur_us": dur_us,
                 "args": args,
             }
         )
     meta = dict(document.get("otherData") or {})
     metrics = meta.pop("metrics", {})
+    if dropped:
+        meta["dropped_events"] = dropped
     return {"format": "chrome", "meta": meta, "events": events, "metrics": metrics}
 
 
@@ -163,6 +177,7 @@ def _normalize_jsonl(lines: List[Dict[str, Any]]) -> Dict[str, Any]:
     meta: Dict[str, Any] = {}
     metrics: Dict[str, Any] = {}
     events = []
+    dropped = 0
     for record in lines:
         kind = record.get("type")
         if kind == "header":
@@ -170,17 +185,27 @@ def _normalize_jsonl(lines: List[Dict[str, Any]]) -> Dict[str, Any]:
         elif kind == "metrics":
             metrics = record.get("metrics", {})
         elif kind == "span":
+            if not all(k in record for k in ("name", "ts_us", "dur_us")):
+                dropped += 1
+                continue
+            try:
+                ts_us, dur_us = float(record["ts_us"]), float(record["dur_us"])
+            except (TypeError, ValueError):
+                dropped += 1
+                continue
             events.append(
                 {
                     "name": record["name"],
                     "cat": record.get("cat", ""),
                     "worker": record.get("worker"),
                     "superstep": record.get("superstep"),
-                    "ts_us": float(record["ts_us"]),
-                    "dur_us": float(record["dur_us"]),
+                    "ts_us": ts_us,
+                    "dur_us": dur_us,
                     "args": dict(record.get("args") or {}),
                 }
             )
+    if dropped:
+        meta["dropped_events"] = dropped
     return {"format": "jsonl", "meta": meta, "events": events, "metrics": metrics}
 
 
@@ -204,14 +229,23 @@ def load_trace(path: str) -> Dict[str, Any]:
         document = None
     if isinstance(document, dict) and "traceEvents" in document:
         return _normalize_chrome(document)
-    # JSONL: every non-empty line must be its own JSON object.
+    # JSONL: every non-empty line must be its own JSON object — except
+    # the final one, which a run crashing mid-write leaves truncated.
+    # Dropping (and counting) that torn tail keeps `repro trace` able
+    # to render the partial per-stage tables of everything that did
+    # make it to disk; a bad line anywhere *else* is still corruption.
+    raw_lines = [
+        (i, line) for i, line in enumerate(text.splitlines(), start=1) if line.strip()
+    ]
     lines: List[Dict[str, Any]] = []
-    for i, line in enumerate(text.splitlines(), start=1):
-        if not line.strip():
-            continue
+    truncated_tail = 0
+    for pos, (i, line) in enumerate(raw_lines):
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if pos == len(raw_lines) - 1 and lines:
+                truncated_tail = 1
+                break
             raise ValueError(f"{path}:{i}: not a trace file ({exc})") from exc
         if not isinstance(record, dict):
             raise ValueError(f"{path}:{i}: expected a JSON object per line")
@@ -223,4 +257,9 @@ def load_trace(path: str) -> Dict[str, Any]:
             f"{path}: neither Chrome trace-event JSON (no 'traceEvents') nor "
             "repro JSONL (no header/span records)"
         )
-    return _normalize_jsonl(lines)
+    trace = _normalize_jsonl(lines)
+    if truncated_tail:
+        trace["meta"]["dropped_events"] = (
+            trace["meta"].get("dropped_events", 0) + truncated_tail
+        )
+    return trace

@@ -98,6 +98,97 @@ class StreamingEBVAssigner:
             grown[: self._seen_degree.shape[0]] = self._seen_degree
             self._seen_degree = grown
 
+    def seed(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        parts: np.ndarray,
+        num_vertices: Optional[int] = None,
+    ) -> None:
+        """Warm-start the core from an existing edge assignment.
+
+        Rebuilds the whole streaming state — degree estimates, replica
+        sets, balance counters — as if every ``(src[i], dst[i])`` edge
+        had already been assigned to ``parts[i]``, in O(|E|) vectorized
+        work.  Subsequent :meth:`assign` calls then score *new* edges
+        against the live partition instead of an empty one, which is
+        what lets :func:`repro.mutate.apply_mutations` re-assign only
+        the inserted edges of a mutation batch.
+
+        The seeded state is equivalent for all future scoring (replica
+        membership and per-part counters), not a byte replay of the
+        original assignment history.  Only a fresh assigner may be
+        seeded.
+        """
+        if self.edges_assigned or self.vertices_covered:
+            raise ValueError("seed() requires a fresh assigner (no edges assigned yet)")
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        parts = np.ascontiguousarray(parts, dtype=np.int64)
+        if not (src.shape == dst.shape == parts.shape):
+            raise ValueError("src, dst and parts must have identical shapes")
+        if parts.shape[0] and (parts.min() < 0 or parts.max() >= self.num_parts):
+            raise ValueError(
+                f"seed parts must lie in [0, {self.num_parts}); "
+                f"got range [{int(parts.min())}, {int(parts.max())}]"
+            )
+        m = src.shape[0]
+        n = int(num_vertices) if num_vertices is not None else 0
+        if m:
+            n = max(n, int(max(src.max(), dst.max())) + 1)
+        if m == 0:
+            if n:
+                self._grow(n)
+            return
+        seen_degree = np.bincount(src, minlength=n) + np.bincount(dst, minlength=n)
+        # Distinct (vertex, part) incidences; self-loops collapse to one.
+        pair_keys = np.unique(
+            np.concatenate([src, dst]) * self.num_parts + np.tile(parts, 2)
+        )
+        self.seed_state(
+            seen_degree,
+            pair_keys // self.num_parts,
+            pair_keys % self.num_parts,
+            np.bincount(parts, minlength=self.num_parts),
+            m,
+        )
+
+    def seed_state(
+        self,
+        seen_degree: np.ndarray,
+        pair_vertex: np.ndarray,
+        pair_part: np.ndarray,
+        edge_counts: np.ndarray,
+        num_edges: int,
+    ) -> None:
+        """Warm-start from precomputed aggregates (out-of-core seeding).
+
+        The aggregate form of :meth:`seed`, for callers that stream the
+        existing assignment shard by shard and cannot hold full edge
+        arrays: per-vertex degrees, the distinct ``(vertex, part)``
+        incidence pairs, per-part edge counts and the total edge count.
+        ``pair_vertex``/``pair_part`` must be parallel and deduplicated.
+        """
+        if self.edges_assigned or self.vertices_covered:
+            raise ValueError("seed_state() requires a fresh assigner")
+        seen_degree = np.ascontiguousarray(seen_degree, dtype=np.int64)
+        pair_vertex = np.ascontiguousarray(pair_vertex, dtype=np.int64)
+        pair_part = np.ascontiguousarray(pair_part, dtype=np.int64)
+        n = seen_degree.shape[0]
+        needed = max(n, int(pair_vertex.max()) + 1 if pair_vertex.shape[0] else 0)
+        if needed:
+            self._grow(needed)
+        if n:
+            self._seen_degree[:n] = seen_degree
+        parts_of = self._parts_of
+        for v, i in zip(pair_vertex.tolist(), pair_part.tolist()):
+            parts_of[v].append(i)
+        self._ecount[:] = np.asarray(edge_counts, dtype=np.float64)
+        self._vcount[:] = np.bincount(pair_part, minlength=self.num_parts)
+        self.edges_assigned = int(num_edges)
+        self.vertices_covered = int(pair_vertex.shape[0])
+        self.vertices_seen = int(np.unique(pair_vertex).shape[0])
+
     def assign(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         """Assign one window of edges; returns part ids in input order.
 

@@ -134,6 +134,12 @@ class PipelineResult:
     #: was off); load it with :func:`repro.obs.load_trace` or inspect
     #: it with ``repro trace <path>``.
     trace_path: Optional[str] = None
+    #: drift report of the edge-mutation stage (``None`` when the
+    #: pipeline ran without mutations): the
+    #: :meth:`repro.mutate.MutationResult.report` dict, plus
+    #: ``seed_supersteps``/``seed_messages`` when a delta app was
+    #: warm-started from a cold base run.
+    mutation: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe summary of the whole run."""
@@ -174,10 +180,12 @@ class PipelineResult:
         }
         if self.stream is not None:
             payload["stream"] = dict(self.stream)
-        # Present only for traced runs: untraced summaries keep their
-        # historical byte-identical serialization (golden documents).
+        # Present only for traced/mutated runs: other summaries keep
+        # their historical byte-identical serialization (goldens).
         if self.trace_path is not None:
             payload["trace"] = self.trace_path
+        if self.mutation is not None:
+            payload["mutation"] = dict(self.mutation)
         return payload
 
     def to_json(self, indent: int = 2) -> str:
@@ -207,6 +215,7 @@ class Pipeline:
         self._cost_model: Optional[CostModel] = None
         self._checkpoint: Optional[Dict[str, Any]] = None
         self._trace: Optional[str] = None
+        self._mutations: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Stage setters
@@ -327,6 +336,38 @@ class Pipeline:
         self._trace = path
         return self
 
+    def mutate(
+        self,
+        mutations: Any,
+        repartition_threshold: Optional[float] = None,
+    ) -> "Pipeline":
+        """Apply an edge mutation batch after the partition/refine stages.
+
+        ``mutations`` is a :class:`repro.mutate.MutationBatch`, a
+        mutations-file path, an inline op list, or the spec's dict form;
+        downstream stages run against the mutated graph and partition
+        (see :mod:`repro.mutate`).  Pair with the ``cc-delta``/
+        ``pr-delta`` apps to warm-start from the cold base run's values.
+        ``repartition_threshold`` tunes the escape hatch (touched-edge
+        fraction above which the whole graph is repartitioned).  Pass
+        ``mutations=None`` to disable.
+        """
+        if mutations is None:
+            self._mutations = None
+            return self
+        from ..mutate import MutationBatch
+        from .spec import _canonical_mutations
+
+        if isinstance(mutations, MutationBatch):
+            mutations = mutations.to_ops()
+        normalized = _canonical_mutations(mutations)
+        if repartition_threshold is not None:
+            normalized = _canonical_mutations(
+                {**normalized, "repartition_threshold": repartition_threshold}
+            )
+        self._mutations = normalized
+        return self
+
     def with_cost_model(self, cost_model: Optional[CostModel] = None, **kwargs: Any) -> "Pipeline":
         """Override the BSP cost model (instance or field overrides)."""
         if cost_model is not None and kwargs:
@@ -352,6 +393,7 @@ class Pipeline:
         pipe._cost_model = spec.build_cost_model()
         pipe._checkpoint = None if spec.checkpoint is None else dict(spec.checkpoint)
         pipe._trace = spec.trace
+        pipe._mutations = None if spec.mutations is None else dict(spec.mutations)
         return pipe
 
     def spec(self) -> PipelineSpec:
@@ -390,6 +432,7 @@ class Pipeline:
             ),
             checkpoint=None if self._checkpoint is None else dict(self._checkpoint),
             trace=self._trace,
+            mutations=None if self._mutations is None else dict(self._mutations),
         )
 
     # ------------------------------------------------------------------
@@ -557,6 +600,35 @@ class Pipeline:
             )
             close_stage("refine", t0)
 
+        mutation_result = None
+        mutation_payload: Optional[Dict[str, Any]] = None
+        base_result, base_graph = result, graph
+        if self._mutations is not None:
+            t0 = monotonic_ns()
+            from ..mutate import MutationBatch, apply_mutations
+
+            mut_cfg = self._mutations
+
+            def _apply_mutations():
+                if "file" in mut_cfg:
+                    batch = MutationBatch.from_file(mut_cfg["file"])
+                else:
+                    batch = MutationBatch.from_ops(mut_cfg["ops"])
+                extra: Dict[str, Any] = {}
+                if mut_cfg.get("repartition_threshold") is not None:
+                    extra["repartition_threshold"] = mut_cfg["repartition_threshold"]
+                # The configured partitioner maintains the assignment
+                # only when it exposes the warm-seedable streaming core;
+                # otherwise apply_mutations falls back to its default
+                # (a fresh ebv-stream scorer over the same assignment).
+                maintainer = partitioner if hasattr(partitioner, "streamer") else None
+                return apply_mutations(result, batch, maintainer, **extra)
+
+            mutation_result = _stage("mutate", _apply_mutations)
+            result, graph = mutation_result.partition, mutation_result.graph
+            mutation_payload = mutation_result.report()
+            close_stage("mutate", t0)
+
         metrics = partition_metrics(result)
 
         run = None
@@ -566,11 +638,40 @@ class Pipeline:
             dgraph = build_distributed_graph(result)
             close_stage("distribute", t0)
             t0 = monotonic_ns()
+            backend = _stage("run", lambda: BACKENDS.create(self._backend_spec))
+            app_overrides = dict(self._app_overrides)
+            app_name = APPS.canonical(parse_spec(self._app_spec)[0])
+            if (
+                mutation_result is not None
+                and app_name in ("cc-delta", "pr-delta")
+                and "prev_values" not in app_overrides
+            ):
+                # Incremental story in one document: run the base app
+                # cold on the pre-mutation partition, derive sound warm
+                # values, and let the delta app start from them.
+                from ..mutate import cc_warm_labels, pr_warm_values
+
+                base_app = "cc" if app_name == "cc-delta" else "pr"
+                seed_run = BSPEngine(
+                    cost_model=self._cost_model, backend=backend, recorder=rec
+                ).run(
+                    build_distributed_graph(base_result),
+                    _stage("run", lambda: APPS.create(base_app, base_graph)),
+                )
+                if app_name == "cc-delta":
+                    app_overrides["prev_values"] = cc_warm_labels(
+                        seed_run.values, mutation_result
+                    )
+                else:
+                    app_overrides["prev_values"] = pr_warm_values(
+                        seed_run.values, graph.num_vertices
+                    )
+                mutation_payload["seed_supersteps"] = seed_run.num_supersteps
+                mutation_payload["seed_messages"] = int(seed_run.total_messages)
             program = _stage(
                 "run",
-                lambda: APPS.create(self._app_spec, graph, **self._app_overrides),
+                lambda: APPS.create(self._app_spec, graph, **app_overrides),
             )
-            backend = _stage("run", lambda: BACKENDS.create(self._backend_spec))
             engine = BSPEngine(
                 cost_model=self._cost_model,
                 backend=backend,
@@ -604,6 +705,7 @@ class Pipeline:
             stream=stream_info,
             checkpoint_dir=None if ckpt is None else ckpt["dir"],
             trace_path=trace_path,
+            mutation=mutation_payload,
         )
 
 

@@ -115,6 +115,65 @@ def _canonical_checkpoint(value: Any) -> Optional[Dict[str, Any]]:
     return normalized
 
 
+def _canonical_mutations(value: Any) -> Optional[Dict[str, Any]]:
+    """Validate/normalize the ``mutations`` entry.
+
+    Accepts ``None``, a mutations-file path string, a bare op list
+    (``[["insert", u, v], ["delete", u, v], ...]``), or a dict with
+    exactly one of ``file``/``ops`` plus an optional
+    ``repartition_threshold``.  Inline ops are validated by actually
+    building the :class:`repro.mutate.MutationBatch` and re-serialized
+    in its canonical op form; a file path is resolved lazily at
+    execution time (the spec stays portable across machines).
+    """
+    if value is None:
+        return None
+    from ..mutate import MutationBatch, MutationError
+
+    if isinstance(value, str):
+        value = {"file": value}
+    elif isinstance(value, (list, tuple)):
+        value = {"ops": list(value)}
+    if not isinstance(value, dict):
+        raise SpecError(
+            f"'mutations' must be null, a file path, an op list, or an "
+            f"options dict, got {type(value).__name__}"
+        )
+    unknown = sorted(set(value) - {"file", "ops", "repartition_threshold"})
+    if unknown:
+        raise SpecError(
+            f"unknown mutations keys {unknown}; expected a subset of "
+            f"['file', 'ops', 'repartition_threshold']"
+        )
+    has_file, has_ops = "file" in value, "ops" in value
+    if has_file == has_ops:
+        raise SpecError("'mutations' requires exactly one of 'file' or 'ops'")
+    normalized: Dict[str, Any] = {}
+    if has_file:
+        path = value["file"]
+        if not isinstance(path, str) or not path:
+            raise SpecError("mutations 'file' must be a non-empty path string")
+        normalized["file"] = path
+    else:
+        try:
+            normalized["ops"] = MutationBatch.from_ops(value["ops"]).to_ops()
+        except (MutationError, TypeError, ValueError) as exc:
+            raise SpecError(f"invalid 'mutations' ops: {exc}") from exc
+    threshold = value.get("repartition_threshold")
+    if threshold is not None:
+        if (
+            isinstance(threshold, bool)
+            or not isinstance(threshold, (int, float))
+            or not 0.0 <= threshold <= 1.0
+        ):
+            raise SpecError(
+                f"mutations 'repartition_threshold' must be a number in "
+                f"[0, 1], got {threshold!r}"
+            )
+        normalized["repartition_threshold"] = float(threshold)
+    return normalized
+
+
 def _check_stream_partitioner(partition_spec: str) -> None:
     """Eagerly reject stream sources with non-streaming partitioners."""
     name, kwargs = parse_spec(partition_spec)
@@ -188,6 +247,16 @@ class PipelineSpec:
         Tracing is strictly observational — results, deterministic
         stats and checkpoint fingerprints are bit-identical with and
         without it.
+    mutations:
+        Optional edge mutation batch (see :mod:`repro.mutate`) applied
+        to the partition after the partition/refine stages: a mutations
+        file path, an inline op list (``[["insert", u, v], ["delete",
+        u, v]]``), or a dict with one of ``file``/``ops`` plus an
+        optional ``repartition_threshold``.  Downstream stages (metrics
+        and the app) run against the *mutated* graph and partition;
+        pairing mutations with the ``cc-delta``/``pr-delta`` apps makes
+        the pipeline first run the base app cold on the pre-mutation
+        partition and warm-start the delta app from its values.
     """
 
     source: str
@@ -200,6 +269,7 @@ class PipelineSpec:
     cost_model: Optional[Dict[str, float]] = None
     checkpoint: Optional[Dict[str, Any]] = None
     trace: Optional[str] = None
+    mutations: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         self.source, self._source_is_stream = _canonical_source(self.source)
@@ -223,6 +293,7 @@ class PipelineSpec:
             self.app = _canonical_component(self.app, APPS, "app")
         self.backend = _canonical_component(self.backend, BACKENDS, "backend")
         self.checkpoint = _canonical_checkpoint(self.checkpoint)
+        self.mutations = _canonical_mutations(self.mutations)
         if self.trace is not None and (
             not isinstance(self.trace, str) or not self.trace
         ):
@@ -283,10 +354,12 @@ class PipelineSpec:
             "cost_model": None if self.cost_model is None else dict(self.cost_model),
             "checkpoint": None if self.checkpoint is None else dict(self.checkpoint),
         }
-        # Emitted only when set: untraced specs keep their historical
-        # byte-identical serialization (committed golden documents).
+        # Emitted only when set: untraced/unmutated specs keep their
+        # historical byte-identical serialization (committed goldens).
         if self.trace is not None:
             out["trace"] = self.trace
+        if self.mutations is not None:
+            out["mutations"] = dict(self.mutations)
         return out
 
     def to_json(self, indent: int = 2) -> str:

@@ -51,6 +51,7 @@ sources.
 """
 
 from .driver import SpilledPartition, stream_partition, windows
+from .patch import patch_spilled_partition
 from .sketch import DegreeSketch
 from .sources import (
     ArrayEdgeStream,
@@ -73,6 +74,7 @@ __all__ = [
     "SpilledPartition",
     "StreamError",
     "TextEdgeListStream",
+    "patch_spilled_partition",
     "save_edge_npy",
     "stream_partition",
     "windows",

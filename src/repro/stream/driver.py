@@ -62,7 +62,8 @@ def _is_spill_artifact(name: str) -> bool:
         name == _MANIFEST
         or name.startswith(_MANIFEST + ".tmp-")
         or name == _EDGE_PARTS
-        or (name.startswith("shard_") and name.endswith(".bin"))
+        or name.startswith(_EDGE_PARTS + ".tmp-")
+        or (name.startswith("shard_") and (name.endswith(".bin") or ".bin.tmp-" in name))
     )
 
 
@@ -201,6 +202,17 @@ def _stream_partition(
         raise StreamError(
             f"{spill_dir} already holds a spilled partition; pass "
             "overwrite=True (--overwrite from the CLI) to replace it"
+        )
+    if not os.path.exists(manifest_path) and not overwrite and os.listdir(spill_dir):
+        # A non-empty directory with no manifest is NOT ours: it is
+        # either a crashed partial spill or (worse) someone else's
+        # files whose names happen to collide with spill artifacts.
+        # Deleting or writing among them silently would destroy data
+        # the manifest never vouched for — demand an explicit opt-in.
+        raise StreamError(
+            f"{spill_dir} is non-empty but holds no {_MANIFEST}; refusing to "
+            "spill among foreign files — pass overwrite=True (--overwrite "
+            "from the CLI) to clear stale spill artifacts and proceed"
         )
     # Clear every artifact a previous (or crashed partial) spill left
     # behind: a part that receives no edges this run would otherwise

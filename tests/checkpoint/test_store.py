@@ -194,6 +194,15 @@ def test_rewriting_a_boundary_replaces_the_snapshot(tmp_path):
     assert load_snapshot(str(tmp_path)).done is True
 
 
+def test_write_snapshot_rejects_zero_retention(tmp_path):
+    """Direct write_snapshot calls validate keep too — keep=0 would prune
+    every snapshot a recovery could restore from."""
+    for bad in (0, -1, True):
+        with pytest.raises(CheckpointError, match="keep"):
+            _write(tmp_path, superstep=1, keep=bad)
+    assert list_snapshots(str(tmp_path)) == []  # nothing was published
+
+
 def test_writer_validates_configuration(tmp_path):
     with pytest.raises(CheckpointError, match="checkpoint_every"):
         CheckpointWriter(str(tmp_path), every=0)

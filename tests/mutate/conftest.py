@@ -1,0 +1,48 @@
+"""Shared fixtures for the dynamic-graph (mutation) suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, powerlaw_graph
+from repro.mutate import MutationBatch
+
+
+@pytest.fixture(scope="session")
+def directed_graph():
+    """A ~600-vertex directed power-law graph (the mutation substrate)."""
+    return powerlaw_graph(600, eta=2.0, min_degree=3, directed=True, seed=11, name="mut-dir")
+
+
+@pytest.fixture(scope="session")
+def tiny_directed():
+    """A 5-vertex directed graph with a parallel edge and a 2-cycle."""
+    edges = [(0, 1), (1, 2), (0, 1), (2, 0), (3, 4)]
+    return Graph.from_edges(edges, num_vertices=5, directed=True, name="tiny-dir")
+
+
+def _mixed_batch(graph, rng, n_delete=20, n_insert=30, grow=10):
+    """A deterministic mixed batch against ``graph``: real deletes plus
+    inserts, some of which grow the vertex set by ``grow`` ids."""
+    batch = MutationBatch()
+    pick = rng.choice(graph.num_edges, size=n_delete, replace=False)
+    for eid in np.sort(pick):
+        batch.delete(int(graph.src[eid]), int(graph.dst[eid]))
+    n = graph.num_vertices
+    for _ in range(n_insert):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n + grow))
+        if u == v:
+            v = (v + 1) % (n + grow)
+        batch.insert(u, v)
+    return batch
+
+
+@pytest.fixture
+def mixed_batch():
+    """Factory fixture: ``mixed_batch(graph, rng, ...)`` builds a batch."""
+    return _mixed_batch
+
+
+@pytest.fixture
+def batch_rng():
+    return np.random.default_rng(777)

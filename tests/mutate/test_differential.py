@@ -1,0 +1,133 @@
+"""The differential harness: mutate-then-incremental vs rebuild-then-batch.
+
+For every mutation scenario the incremental path (warm-started delta app
+on the incrementally-maintained partition) must reproduce the rebuild
+path (cold app on a from-scratch run over the mutated graph) —
+bit-for-bit for CC, within tolerance for PageRank — across backends and
+part counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPEngine, build_distributed_graph
+from repro.frameworks import make_program
+from repro.mutate import (
+    MutationBatch,
+    apply_mutations,
+    cc_warm_labels,
+    pr_warm_values,
+)
+from repro.partition import StreamingEBVPartitioner
+
+PR_TOL = 1e-12
+PR_KW = dict(pagerank_iters=300, pagerank_tol=PR_TOL)
+
+
+def scenario_batch(graph, name):
+    rng = np.random.default_rng(42)
+    batch = MutationBatch()
+    if name in ("mixed", "delete_only"):
+        pick = np.sort(rng.choice(graph.num_edges, size=15, replace=False))
+        for eid in pick:
+            batch.delete(int(graph.src[eid]), int(graph.dst[eid]))
+    if name in ("mixed", "insert_only"):
+        n = graph.num_vertices
+        for _ in range(20):
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n + 8))
+            if u != v:
+                batch.insert(u, v)
+    if name == "churn":
+        # delete-then-reinsert plus a cancelling insert/delete pair
+        u, v = int(graph.src[0]), int(graph.dst[0])
+        batch.delete(u, v).insert(u, v).insert(901, 902).delete(901, 902)
+        batch.insert(3, 4).insert(3, 4)
+    return batch
+
+
+def run_differential(graph, scenario, app, backend, parts):
+    part = StreamingEBVPartitioner().partition(graph, parts)
+    batch = scenario_batch(graph, scenario)
+    mut = apply_mutations(part, batch)
+    engine = BSPEngine(backend=backend)
+
+    cold_kw = PR_KW if app == "pr" else {}
+    prev = engine.run(
+        build_distributed_graph(part), make_program(app.upper(), graph, **cold_kw)
+    )
+    dg = build_distributed_graph(mut.partition)
+    if app == "cc":
+        warm = engine.run(
+            dg,
+            make_program(
+                "CC-DELTA", mut.graph, prev_values=cc_warm_labels(prev.values, mut)
+            ),
+        )
+        rebuild = engine.run(dg, make_program("CC", mut.graph))
+        np.testing.assert_array_equal(warm.values, rebuild.values)
+    else:
+        warm = engine.run(
+            dg,
+            make_program(
+                "PR-DELTA",
+                mut.graph,
+                prev_values=pr_warm_values(prev.values, mut.graph.num_vertices),
+                delta_iters=300,
+                pagerank_tol=PR_TOL,
+            ),
+        )
+        rebuild = engine.run(dg, make_program("PR", mut.graph, **PR_KW))
+        assert float(np.max(np.abs(warm.values - rebuild.values))) < 1e-8
+    return warm, rebuild
+
+
+SCENARIOS = ("mixed", "insert_only", "delete_only", "churn")
+
+
+class TestSerialMatrix:
+    """Full scenario × parts × app matrix on the serial backend."""
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_cc_bit_identical(self, directed_graph, scenario, parts):
+        run_differential(directed_graph, scenario, "cc", "serial", parts)
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_pr_within_tolerance(self, directed_graph, scenario, parts):
+        run_differential(directed_graph, scenario, "pr", "serial", parts)
+
+
+class TestParallelBackends:
+    """The harness holds on real worker pools too (one scenario each to
+    bound wall time; backend-equivalence tests cover the rest)."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_cc_mixed(self, directed_graph, backend, parts):
+        run_differential(directed_graph, "mixed", "cc", backend, parts)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_pr_mixed(self, directed_graph, backend, parts):
+        run_differential(directed_graph, "mixed", "pr", backend, parts)
+
+
+class TestWarmStartSavesWork:
+    def test_insert_only_cc_converges_no_slower_than_cold(self, directed_graph):
+        part = StreamingEBVPartitioner().partition(directed_graph, 4)
+        batch = scenario_batch(directed_graph, "insert_only")
+        mut = apply_mutations(part, batch)
+        engine = BSPEngine()
+        prev = engine.run(
+            build_distributed_graph(part), make_program("CC", directed_graph)
+        )
+        dg = build_distributed_graph(mut.partition)
+        warm = engine.run(
+            dg,
+            make_program(
+                "CC-DELTA", mut.graph, prev_values=cc_warm_labels(prev.values, mut)
+            ),
+        )
+        rebuild = engine.run(dg, make_program("CC", mut.graph))
+        assert warm.num_supersteps <= rebuild.num_supersteps

@@ -1,0 +1,114 @@
+"""patch_spilled_partition: out-of-core shard patching vs the in-memory path."""
+
+import numpy as np
+import pytest
+
+from repro.graph import write_edge_list
+from repro.mutate import MutationBatch, MutationError, apply_mutations
+from repro.partition import StreamingEBVPartitioner
+from repro.stream import (
+    SpilledPartition,
+    TextEdgeListStream,
+    patch_spilled_partition,
+    stream_partition,
+)
+
+
+@pytest.fixture
+def spilled(directed_graph, tmp_path):
+    """The directed fixture graph spilled to per-part shards."""
+    edge_file = tmp_path / "graph.txt"
+    write_edge_list(directed_graph, str(edge_file))
+    stream = TextEdgeListStream(str(edge_file), chunk_size=512)
+    return stream_partition(
+        stream, StreamingEBVPartitioner(), 4, str(tmp_path / "spill")
+    )
+
+
+def in_memory_reference(spilled, batch, **kwargs):
+    part = spilled.assemble()
+    return apply_mutations(part, batch, **kwargs)
+
+
+class TestPatchEquivalence:
+    def test_mixed_batch_matches_in_memory_path(
+        self, spilled, directed_graph, batch_rng, mixed_batch
+    ):
+        batch = mixed_batch(directed_graph, batch_rng)
+        expect = in_memory_reference(spilled, batch)
+        patched, report = patch_spilled_partition(spilled, batch)
+        assert report["mode"] == "incremental"
+        got = patched.assemble()
+        np.testing.assert_array_equal(got.edge_parts, expect.partition.edge_parts)
+        np.testing.assert_array_equal(got.graph.src, expect.graph.src)
+        np.testing.assert_array_equal(got.graph.dst, expect.graph.dst)
+        assert got.graph.num_vertices == expect.graph.num_vertices
+        assert report["rf_after"] == pytest.approx(expect.rf_after)
+
+    def test_insert_only_append_fast_path(self, spilled, directed_graph):
+        batch = MutationBatch().insert(0, 17).insert(5, 640).insert(0, 17)
+        expect = in_memory_reference(spilled, batch)
+        patched, report = patch_spilled_partition(spilled, batch)
+        assert report["num_deleted"] == 0
+        got = patched.assemble()
+        np.testing.assert_array_equal(got.edge_parts, expect.partition.edge_parts)
+        assert got.graph.num_edges == directed_graph.num_edges + 3
+
+    def test_delete_only(self, spilled, directed_graph):
+        batch = MutationBatch()
+        for eid in (0, 7, 100):
+            batch.delete(int(directed_graph.src[eid]), int(directed_graph.dst[eid]))
+        expect = in_memory_reference(spilled, batch)
+        patched, _ = patch_spilled_partition(spilled, batch)
+        got = patched.assemble()
+        np.testing.assert_array_equal(got.edge_parts, expect.partition.edge_parts)
+        np.testing.assert_array_equal(got.graph.src, expect.graph.src)
+
+    def test_empty_batch_keeps_manifest_consistent(self, spilled):
+        before = dict(spilled.manifest)
+        patched, report = patch_spilled_partition(spilled, MutationBatch())
+        assert patched.manifest["num_edges"] == before["num_edges"]
+        assert report["num_inserted"] == 0 and report["num_deleted"] == 0
+
+    def test_escape_hatch_respills_full(self, spilled, directed_graph, batch_rng, mixed_batch):
+        batch = mixed_batch(directed_graph, batch_rng, n_delete=10, n_insert=30)
+        expect = in_memory_reference(spilled, batch, repartition_threshold=0.0)
+        assert expect.mode == "repartition"
+        patched, report = patch_spilled_partition(
+            spilled, batch, repartition_threshold=0.0
+        )
+        assert report["mode"] == "repartition"
+        got = patched.assemble()
+        np.testing.assert_array_equal(got.edge_parts, expect.partition.edge_parts)
+
+    def test_delete_nonexistent_leaves_spill_untouched(self, spilled):
+        before = dict(spilled.manifest)
+        with pytest.raises(MutationError, match="cannot delete"):
+            patch_spilled_partition(spilled, MutationBatch().delete(999999, 999998))
+        reopened = SpilledPartition(spilled.directory)
+        assert reopened.manifest["num_edges"] == before["num_edges"]
+
+    def test_patched_spill_reopens_from_disk(self, spilled, directed_graph):
+        batch = MutationBatch().insert(1, 2).delete(
+            int(directed_graph.src[3]), int(directed_graph.dst[3])
+        )
+        patched, _ = patch_spilled_partition(spilled, batch)
+        reopened = SpilledPartition(patched.directory)
+        assert reopened.manifest == patched.manifest
+        for p in range(reopened.manifest["num_parts"]):
+            a, b = patched.part_edges(p), reopened.part_edges(p)
+            for x, y in zip(a, b):
+                if x is None or y is None:
+                    assert x is None and y is None
+                else:
+                    np.testing.assert_array_equal(x, y)
+
+    def test_undirected_spill_rejected(self, small_powerlaw, tmp_path):
+        edge_file = tmp_path / "und.txt"
+        write_edge_list(small_powerlaw, str(edge_file))
+        stream = TextEdgeListStream(str(edge_file), chunk_size=512)
+        sp = stream_partition(
+            stream, StreamingEBVPartitioner(), 2, str(tmp_path / "und.spill")
+        )
+        with pytest.raises(MutationError, match="directed"):
+            patch_spilled_partition(sp, MutationBatch().insert(0, 1))

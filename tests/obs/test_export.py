@@ -148,3 +148,75 @@ class TestJsonlAndLoader:
         wrong_json.write_text(json.dumps({"results": [1, 2, 3]}))
         with pytest.raises(ValueError):
             load_trace(str(wrong_json))
+
+
+class TestCrashedTraces:
+    """Traces from crashed runs degrade gracefully instead of raising."""
+
+    def test_truncated_final_jsonl_line_is_dropped_and_counted(
+        self, recorder, tmp_path
+    ):
+        path = write_jsonl_trace(recorder, str(tmp_path / "t.jsonl"))
+        with open(path) as fh:
+            text = fh.read()
+        # a crash mid-write leaves the last line torn
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_text(text[:-40])
+        trace = load_trace(str(crashed))
+        assert trace["meta"]["dropped_events"] == 1
+        assert len(trace["events"]) > 0
+
+    def test_torn_jsonl_span_records_are_dropped(self, recorder, tmp_path):
+        path = write_jsonl_trace(recorder, str(tmp_path / "t.jsonl"))
+        lines = open(path).read().splitlines()
+        # tear two span records: one missing dur_us, one with junk ts_us
+        torn = []
+        mangled = 0
+        for line in lines:
+            rec = json.loads(line)
+            if rec.get("type") == "span" and mangled < 2:
+                if mangled == 0:
+                    del rec["dur_us"]
+                else:
+                    rec["ts_us"] = "not-a-number"
+                mangled += 1
+            torn.append(json.dumps(rec))
+        crashed = tmp_path / "torn.jsonl"
+        crashed.write_text("\n".join(torn) + "\n")
+        trace = load_trace(str(crashed))
+        assert trace["meta"]["dropped_events"] == 2
+        assert len(trace["events"]) == len(recorder) - 2
+
+    def test_torn_chrome_events_are_dropped(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, str(tmp_path / "t.json"))
+        doc = json.load(open(path))
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                del event["dur"]
+                break
+        crashed = tmp_path / "torn.json"
+        crashed.write_text(json.dumps(doc))
+        trace = load_trace(str(crashed))
+        assert trace["meta"]["dropped_events"] == 1
+        assert len(trace["events"]) == len(recorder) - 1
+
+    def test_bad_line_before_the_tail_is_still_corruption(
+        self, recorder, tmp_path
+    ):
+        path = write_jsonl_trace(recorder, str(tmp_path / "t.jsonl"))
+        lines = open(path).read().splitlines()
+        lines[2] = lines[2][:-5]  # torn in the middle, not the tail
+        crashed = tmp_path / "mid.jsonl"
+        crashed.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":3:"):
+            load_trace(str(crashed))
+
+    def test_summarize_survives_dropped_events(self, recorder, tmp_path):
+        from repro.obs import summarize_trace
+
+        path = write_jsonl_trace(recorder, str(tmp_path / "t.jsonl"))
+        text = open(path).read()
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_text(text[:-40])
+        summary = summarize_trace(load_trace(str(crashed)))
+        assert summary  # partial tables still render

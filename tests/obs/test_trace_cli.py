@@ -69,3 +69,20 @@ class TestTraceVerb:
         bad.write_text(json.dumps({"results": [1, 2]}))
         assert main(["trace", str(bad)]) == 2
         assert capsys.readouterr().err
+
+    def test_crashed_trace_warns_but_summarizes(self, edge_file, tmp_path, capsys):
+        """A trace torn by a crash still renders partial tables, with a
+        stderr warning counting what was dropped."""
+        path = str(tmp_path / "run.jsonl")
+        assert main(
+            ["run", edge_file, "--app", "cc", "--workers", "2", "--trace", path]
+        ) == 0
+        capsys.readouterr()
+        text = open(path).read()
+        crashed = str(tmp_path / "crashed.jsonl")
+        open(crashed, "w").write(text[:-40])  # tear the final record
+        assert main(["trace", crashed]) == 0
+        captured = capsys.readouterr()
+        assert "torn record(s) dropped" in captured.err
+        assert "crashed run" in captured.err
+        assert "Worker" in captured.out  # the surviving spans still render

@@ -128,18 +128,39 @@ class TestStreamPartition:
         assert result.graph.num_edges == 2
         assert sum(tiny.part_edges(i)[0].shape[0] for i in range(8)) == 2
 
-    def test_overwrite_clears_stale_partial_spill(self, graph, tmp_path):
-        """Leftovers without a manifest (crashed run) are cleared too."""
+    def test_partial_spill_without_manifest_needs_opt_in(self, graph, tmp_path):
+        """Leftovers without a manifest (crashed run) are refused by
+        default — the files could equally be someone else's data — and
+        cleared only under an explicit overwrite=True."""
         spill = tmp_path / "s"
         spill.mkdir()
         (spill / "shard_00007.bin").write_bytes(b"\x00" * 24)
         (spill / "edge_parts.bin").write_bytes(b"\x00" * 8)
+        with pytest.raises(StreamError, match="foreign files"):
+            stream_partition(
+                ArrayEdgeStream([0, 1], [1, 2]),
+                StreamingEBVPartitioner(), 8, str(spill),
+            )
         spilled = stream_partition(
             ArrayEdgeStream([0, 1], [1, 2]),
-            StreamingEBVPartitioner(), 8, str(spill),
+            StreamingEBVPartitioner(), 8, str(spill), overwrite=True,
         )
         assert spilled.edge_parts().shape == (2,)
         assert spilled.part_edges(7)[0].shape == (0,)
+
+    def test_nonempty_foreign_dir_refused_and_untouched(self, graph, tmp_path):
+        """A directory holding only files we never wrote is never spilled
+        into silently — and the refusal must not delete anything."""
+        spill = tmp_path / "precious"
+        spill.mkdir()
+        (spill / "thesis.tex").write_text("important")
+        with pytest.raises(StreamError, match="manifest.json"):
+            stream_partition(
+                ArrayEdgeStream([0, 1], [1, 2]),
+                StreamingEBVPartitioner(), 2, str(spill),
+            )
+        assert (spill / "thesis.tex").read_text() == "important"
+        assert os.listdir(spill) == ["thesis.tex"]
 
     def test_non_streaming_partitioner_rejected(self, graph, tmp_path):
         with pytest.raises(StreamError, match="does not support streaming"):
@@ -255,12 +276,15 @@ class TestPartialSpillCleanup:
         spill.mkdir()
         keeper = spill / "unrelated.txt"
         keeper.write_text("not a shard")
+        # overwrite=True is required now: a non-empty directory without a
+        # manifest is refused by default (foreign-file guard).
         with pytest.raises(OSError, match="injected source failure"):
             stream_partition(
                 self._failing_stream(graph),
                 StreamingEBVPartitioner(chunk_size=8),
                 3,
                 str(spill),
+                overwrite=True,
             )
         # Unrelated files survive; every spill artifact is gone.
         assert sorted(os.listdir(spill)) == ["unrelated.txt"]
